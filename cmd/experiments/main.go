@@ -1,0 +1,103 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the synthetic stand-in datasets:
+//
+//	experiments -exp all                 # the full evaluation
+//	experiments -exp exp1 -datasets EP   # one experiment, one dataset
+//	experiments -exp table1,fig3c        # a comma-separated subset
+//
+// Available experiments: table1, fig3c, exp1 (similarity sweep, Fig. 7),
+// exp2 (query set size, Fig. 8), exp3 (time decomposition, Fig. 9),
+// exp4 (γ sweep, Fig. 10), exp5 (scalability, Fig. 11), exp6 (KSP
+// comparison, Fig. 12), exp7 (path counts vs k, Fig. 13).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exps"
+)
+
+var runners = []struct {
+	name string
+	desc string
+	run  func(exps.Config) error
+}{
+	{"table1", "Table I: dataset statistics", func(c exps.Config) error { _, err := exps.Table1(c); return err }},
+	{"fig3c", "Fig. 3(c): enumeration vs materialisation", func(c exps.Config) error { _, err := exps.Fig3c(c); return err }},
+	{"exp1", "Fig. 7: time and speedup vs query similarity", func(c exps.Config) error { _, err := exps.Exp1(c); return err }},
+	{"exp2", "Fig. 8: time vs query set size", func(c exps.Config) error { _, err := exps.Exp2(c); return err }},
+	{"exp3", "Fig. 9: processing time decomposition", func(c exps.Config) error { _, err := exps.Exp3(c); return err }},
+	{"exp4", "Fig. 10: impact of γ", func(c exps.Config) error { _, err := exps.Exp4(c); return err }},
+	{"exp5", "Fig. 11: scalability vs graph size", func(c exps.Config) error { _, err := exps.Exp5(c); return err }},
+	{"exp6", "Fig. 12: comparison with KSP algorithms", func(c exps.Config) error { _, err := exps.Exp6(c); return err }},
+	{"exp7", "Fig. 13: number of paths vs k", func(c exps.Config) error { _, err := exps.Exp7(c); return err }},
+}
+
+func main() {
+	var (
+		expList  = flag.String("exp", "all", "experiments to run: all, or comma-separated names (table1, fig3c, exp1..exp7)")
+		dsList   = flag.String("datasets", "", "comma-separated Table I codes (EP, SL, ...); empty = all twelve")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor")
+		querySet = flag.Int("queries", 100, "query set size |Q|")
+		kmin     = flag.Int("kmin", 4, "minimum hop constraint")
+		kmax     = flag.Int("kmax", 7, "maximum hop constraint")
+		gamma    = flag.Float64("gamma", 0.5, "clustering threshold γ")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		kspCap   = flag.Int64("ksp-budget", 0, "Exp-6 baseline expansion budget (0 = default 10M)")
+	)
+	flag.Parse()
+
+	cfg := exps.Config{
+		Scale:            *scale,
+		QuerySetSize:     *querySet,
+		KMin:             *kmin,
+		KMax:             *kmax,
+		Gamma:            *gamma,
+		Seed:             *seed,
+		MaxKSPExpansions: *kspCap,
+		Out:              os.Stdout,
+	}
+	if *dsList != "" {
+		cfg.Datasets = strings.Split(*dsList, ",")
+	}
+
+	want := map[string]bool{}
+	if *expList == "all" {
+		for _, r := range runners {
+			want[r.name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*expList, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+	}
+	known := map[string]bool{}
+	for _, r := range runners {
+		known[r.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", name)
+			for _, r := range runners {
+				fmt.Fprintf(os.Stderr, "  %-7s %s\n", r.name, r.desc)
+			}
+			os.Exit(2)
+		}
+	}
+
+	for _, r := range runners {
+		if !want[r.name] {
+			continue
+		}
+		t0 := time.Now()
+		if err := r.run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "[%s completed in %v]\n", r.name, time.Since(t0).Round(time.Millisecond))
+	}
+}

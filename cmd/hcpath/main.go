@@ -1,0 +1,168 @@
+// Command hcpath answers batches of hop-constrained s-t simple path
+// queries on a graph file:
+//
+//	hcpath -graph g.txt -queries q.txt            # print every path
+//	hcpath -graph g.bin -queries q.txt -count     # counts only
+//	hcpath -graph g.txt -query 0,11,5             # one ad-hoc query
+//
+// The graph file is an edge list ("src dst" per line, '#' comments) or
+// the repository's binary format (.bin). The query file holds one
+// "s t k" triple per line. The engine defaults to BatchEnum+, the
+// paper's headline algorithm; -algo selects a baseline.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	hcpath "repro"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file (edge list or .bin)")
+		queryPath = flag.String("queries", "", "query file: one 's t k' per line")
+		oneQuery  = flag.String("query", "", "single query as 's,t,k'")
+		algoName  = flag.String("algo", "batch+", "algorithm: batch+, batch, basic+, basic")
+		gamma     = flag.Float64("gamma", 0.5, "clustering threshold γ")
+		countOnly = flag.Bool("count", false, "print per-query counts instead of paths")
+		maxHops   = flag.Int("maxhops", 15, "maximum accepted hop constraint")
+	)
+	flag.Parse()
+
+	if *graphPath == "" {
+		fail("missing -graph")
+	}
+	g, err := hcpath.LoadGraph(*graphPath)
+	if err != nil {
+		fail("load graph: %v", err)
+	}
+	qs, err := loadQueries(*queryPath, *oneQuery)
+	if err != nil {
+		fail("load queries: %v", err)
+	}
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	eng := hcpath.NewEngine(g, &hcpath.Options{
+		Algorithm: algo,
+		Gamma:     *gamma,
+		MaxHops:   *maxHops,
+	})
+	fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %d queries; %s\n",
+		g.NumVertices(), g.NumEdges(), len(qs), algo)
+
+	t0 := time.Now()
+	if *countOnly {
+		counts, st, err := eng.Count(qs)
+		if err != nil {
+			fail("%v", err)
+		}
+		for i, c := range counts {
+			fmt.Printf("q%d(s=%d,t=%d,k=%d): %d paths\n", i, qs[i].S, qs[i].T, qs[i].K, c)
+		}
+		report(st, time.Since(t0))
+		return
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	st, err := eng.Stream(qs, func(i int, p hcpath.Path) {
+		fmt.Fprintf(w, "q%d: %s\n", i, p)
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	w.Flush()
+	report(st, time.Since(t0))
+}
+
+func report(st hcpath.Stats, elapsed time.Duration) {
+	fmt.Fprintf(os.Stderr,
+		"done in %v (index %v, cluster %v, detect %v, enumerate %v); %d groups, %d shared sub-queries, %d spliced paths\n",
+		elapsed.Round(time.Microsecond),
+		time.Duration(st.IndexNanos).Round(time.Microsecond),
+		time.Duration(st.ClusterNanos).Round(time.Microsecond),
+		time.Duration(st.DetectNanos).Round(time.Microsecond),
+		time.Duration(st.EnumerateNanos).Round(time.Microsecond),
+		st.Groups, st.SharedQueries, st.SplicedPaths)
+}
+
+func parseAlgo(name string) (hcpath.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "batch+", "batchenum+":
+		return hcpath.BatchEnumPlus, nil
+	case "batch", "batchenum":
+		return hcpath.BatchEnum, nil
+	case "basic+", "basicenum+":
+		return hcpath.BasicEnumPlus, nil
+	case "basic", "basicenum":
+		return hcpath.BasicEnum, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want batch+, batch, basic+ or basic)", name)
+}
+
+func loadQueries(path, one string) ([]hcpath.Query, error) {
+	if one != "" {
+		parts := strings.Split(one, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("-query wants 's,t,k', got %q", one)
+		}
+		vals := make([]int, 3)
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("-query field %d: %v", i, err)
+			}
+			vals[i] = v
+		}
+		return []hcpath.Query{{S: hcpath.VertexID(vals[0]), T: hcpath.VertexID(vals[1]), K: vals[2]}}, nil
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need -queries or -query")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var qs []hcpath.Query
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: want 's t k', got %q", path, line, text)
+		}
+		s, err1 := strconv.ParseUint(fields[0], 10, 32)
+		t, err2 := strconv.ParseUint(fields[1], 10, 32)
+		k, err3 := strconv.Atoi(fields[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("%s:%d: malformed query %q", path, line, text)
+		}
+		qs = append(qs, hcpath.Query{S: hcpath.VertexID(s), T: hcpath.VertexID(t), K: k})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("%s: no queries", path)
+	}
+	return qs, nil
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "hcpath: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	hcpath "repro"
+)
+
+func TestParseAlgo(t *testing.T) {
+	cases := map[string]hcpath.Algorithm{
+		"batch+":     hcpath.BatchEnumPlus,
+		"BatchEnum+": hcpath.BatchEnumPlus,
+		"batch":      hcpath.BatchEnum,
+		"basic+":     hcpath.BasicEnumPlus,
+		"BASIC":      hcpath.BasicEnum,
+	}
+	for name, want := range cases {
+		got, err := parseAlgo(name)
+		if err != nil || got != want {
+			t.Errorf("parseAlgo(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := parseAlgo("dijkstra"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestLoadQueriesInline(t *testing.T) {
+	qs, err := loadQueries("", "4, 14, 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || qs[0].S != 4 || qs[0].T != 14 || qs[0].K != 4 {
+		t.Fatalf("parsed %+v", qs)
+	}
+	for _, bad := range []string{"1,2", "a,b,c", "1,2,3,4"} {
+		if _, err := loadQueries("", bad); err == nil {
+			t.Errorf("inline query %q accepted", bad)
+		}
+	}
+}
+
+func TestLoadQueriesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.txt")
+	content := "# header\n0 11 5\n\n2 13 5\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qs, err := loadQueries(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[1].S != 2 || qs[1].K != 5 {
+		t.Fatalf("parsed %+v", qs)
+	}
+	// Malformed line.
+	badPath := filepath.Join(dir, "bad.txt")
+	os.WriteFile(badPath, []byte("1 2\n"), 0o644)
+	if _, err := loadQueries(badPath, ""); err == nil {
+		t.Error("malformed query file accepted")
+	}
+	// Empty file.
+	emptyPath := filepath.Join(dir, "empty.txt")
+	os.WriteFile(emptyPath, []byte("# nothing\n"), 0o644)
+	if _, err := loadQueries(emptyPath, ""); err == nil {
+		t.Error("empty query file accepted")
+	}
+	// Missing both sources.
+	if _, err := loadQueries("", ""); err == nil {
+		t.Error("missing query sources accepted")
+	}
+}

@@ -1,0 +1,322 @@
+// Package hcpath is the public API of this repository: batch
+// hop-constrained s-t simple path (HC-s-t path) query processing in
+// large directed graphs, reproducing "Batch Hop-Constrained s-t Simple
+// Path Query Processing in Large Graphs" (Yuan, Hao, Lin, Zhang,
+// ICDE 2024).
+//
+// A Graph is built once from edges or loaded from disk; an Engine then
+// answers batches of HC-s-t path queries. The headline algorithm,
+// BatchEnumPlus, detects computation shared between the queries of a
+// batch — formalised as dominating HC-s path queries — and enumerates
+// the common partial paths once:
+//
+//	g, err := hcpath.NewGraph(4, []hcpath.Edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+//	...
+//	eng := hcpath.NewEngine(g, nil)
+//	res, err := eng.Enumerate([]hcpath.Query{{S: 0, T: 3, K: 3}})
+//	for _, p := range res.Paths(0) { fmt.Println(p) }
+//
+// The paper's baselines (BasicEnum, BasicEnum+, BatchEnum) are exposed
+// through Options.Algorithm for comparison, and Stream/Count variants
+// avoid materialising exponentially many results.
+package hcpath
+
+import (
+	"fmt"
+
+	"repro/internal/batchenum"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/sharegraph"
+	"repro/internal/timing"
+)
+
+// VertexID identifies a vertex; vertices are dense integers in [0, N).
+type VertexID = graph.VertexID
+
+// Edge is a directed edge.
+type Edge struct {
+	Src, Dst VertexID
+}
+
+// Query is a hop-constrained s-t simple path query q(s,t,k): every
+// simple path from S to T with at most K hops.
+type Query struct {
+	S, T VertexID
+	K    int
+}
+
+// Path is one result: the vertex sequence from S to T.
+type Path []VertexID
+
+// String renders the path as (v0, v1, ..., vk) like the paper.
+func (p Path) String() string {
+	s := "("
+	for i, v := range p {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("v%d", v)
+	}
+	return s + ")"
+}
+
+// Len returns the number of hops (edges) of the path.
+func (p Path) Len() int { return len(p) - 1 }
+
+// Graph is an immutable directed graph prepared for HC-s-t path
+// queries: the CSR adjacency plus its precomputed reverse for backward
+// searches.
+type Graph struct {
+	g  *graph.Graph
+	gr *graph.Graph
+}
+
+// NewGraph builds a Graph from an edge list with at least n vertices.
+// Duplicate edges and self-loops are dropped.
+func NewGraph(n int, edges []Edge) (*Graph, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("hcpath: negative vertex count %d", n)
+	}
+	b := graph.NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+	return wrap(b.Build()), nil
+}
+
+// LoadGraph reads a graph from disk; ".bin" files use the repository's
+// binary CSR format, anything else is parsed as a whitespace-separated
+// edge list with '#' comments.
+func LoadGraph(path string) (*Graph, error) {
+	g, err := graph.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(g), nil
+}
+
+func wrap(g *graph.Graph) *Graph {
+	return &Graph{g: g, gr: g.Reverse()}
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.g.NumVertices() }
+
+// NumEdges returns |E| after deduplication.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// Algorithm selects one of the paper's four engines.
+type Algorithm int
+
+// The engines of the paper's evaluation. BatchEnumPlus is the headline
+// algorithm and the default.
+const (
+	// BatchEnumPlus is Algorithm 4 with the optimised search order.
+	BatchEnumPlus Algorithm = iota
+	// BatchEnum is Algorithm 4 with the plain search order.
+	BatchEnum
+	// BasicEnumPlus processes queries independently over a shared
+	// index, with the optimised search order.
+	BasicEnumPlus
+	// BasicEnum is Algorithm 1: independent processing, plain order.
+	BasicEnum
+)
+
+func (a Algorithm) internal() batchenum.Algorithm {
+	switch a {
+	case BatchEnum:
+		return batchenum.Batch
+	case BasicEnumPlus:
+		return batchenum.BasicPlus
+	case BasicEnum:
+		return batchenum.Basic
+	default:
+		return batchenum.BatchPlus
+	}
+}
+
+// String implements fmt.Stringer with the paper's names.
+func (a Algorithm) String() string { return a.internal().String() }
+
+// Options tunes an Engine. The zero value matches the paper's defaults.
+type Options struct {
+	// Algorithm selects the engine; the zero value is BatchEnumPlus.
+	Algorithm Algorithm
+	// Gamma is the query-clustering merge threshold γ ∈ (0, 1]; zero
+	// means the paper's default 0.5. Smaller values merge more queries
+	// into one sharing group.
+	Gamma float64
+	// DisableSharing turns off common sub-query detection, reducing the
+	// batch engines to their per-query baselines (for ablation).
+	DisableSharing bool
+	// MaxHops caps K per query; zero means the internal limit of 15.
+	// Enumeration cost and result counts grow exponentially with K.
+	MaxHops int
+	// Workers enables parallel execution: the independent engines
+	// parallelise over queries, the batch engines over sharing groups.
+	// Zero runs sequentially; negative uses GOMAXPROCS workers. With
+	// parallel execution the emission order across queries is
+	// unspecified (per-query results are unaffected).
+	Workers int
+}
+
+func (o *Options) maxHops() int {
+	if o == nil || o.MaxHops <= 0 {
+		return 15
+	}
+	return o.MaxHops
+}
+
+// Engine answers HC-s-t path query batches on one graph.
+type Engine struct {
+	g    *Graph
+	opts Options
+}
+
+// NewEngine returns an engine over g; nil opts selects the defaults
+// (BatchEnum+ with γ = 0.5).
+func NewEngine(g *Graph, opts *Options) *Engine {
+	e := &Engine{g: g}
+	if opts != nil {
+		e.opts = *opts
+	}
+	return e
+}
+
+// Result holds the materialised paths of one batch, grouped by query
+// position.
+type Result struct {
+	paths [][]Path
+	stats Stats
+}
+
+// Paths returns the HC-s-t paths of the i-th query of the batch.
+func (r *Result) Paths(i int) []Path { return r.paths[i] }
+
+// Count returns the number of paths of the i-th query.
+func (r *Result) Count(i int) int { return len(r.paths[i]) }
+
+// TotalPaths returns the number of paths across the whole batch.
+func (r *Result) TotalPaths() int {
+	n := 0
+	for _, ps := range r.paths {
+		n += len(ps)
+	}
+	return n
+}
+
+// Stats returns the run's execution statistics.
+func (r *Result) Stats() Stats { return r.stats }
+
+// Stats summarises a run: phase times and sharing counters.
+type Stats struct {
+	// IndexNanos, ClusterNanos, DetectNanos and EnumerateNanos decompose
+	// the wall-clock time (Fig. 9's four phases).
+	IndexNanos, ClusterNanos, DetectNanos, EnumerateNanos int64
+	// Groups is the number of query clusters formed.
+	Groups int
+	// SharedQueries is the number of dominating HC-s path queries
+	// detected across the batch.
+	SharedQueries int
+	// SplicedPaths counts partial paths answered from the cache instead
+	// of recomputed — the direct measure of sharing.
+	SplicedPaths int64
+}
+
+func (e *Engine) convert(qs []Query) ([]query.Query, error) {
+	out := make([]query.Query, len(qs))
+	for i, q := range qs {
+		if q.K < 1 || q.K > e.opts.maxHops() {
+			return nil, fmt.Errorf("hcpath: query %d: hop constraint %d outside [1, %d]", i, q.K, e.opts.maxHops())
+		}
+		out[i] = query.Query{S: q.S, T: q.T, K: uint8(q.K)}
+	}
+	return out, nil
+}
+
+func (e *Engine) options() batchenum.Options {
+	return batchenum.Options{
+		Algorithm: e.opts.Algorithm.internal(),
+		Gamma:     e.opts.Gamma,
+		Detect:    sharegraph.Options{DisableSharing: e.opts.DisableSharing},
+	}
+}
+
+// run dispatches to the sequential or parallel engine per the options.
+func (e *Engine) run(qs []query.Query, sink query.Sink) (*batchenum.Stats, error) {
+	if e.opts.Workers != 0 {
+		workers := e.opts.Workers
+		if workers < 0 {
+			workers = 0 // RunParallel's GOMAXPROCS default
+		}
+		return batchenum.RunParallel(e.g.g, e.g.gr, qs,
+			batchenum.ParallelOptions{Options: e.options(), Workers: workers}, sink)
+	}
+	return batchenum.Run(e.g.g, e.g.gr, qs, e.options(), sink)
+}
+
+func statsOf(st *batchenum.Stats) Stats {
+	ph := st.Phases
+	return Stats{
+		IndexNanos:     ph.Get(timing.BuildIndex).Nanoseconds(),
+		ClusterNanos:   ph.Get(timing.ClusterQuery).Nanoseconds(),
+		DetectNanos:    ph.Get(timing.IdentifySubquery).Nanoseconds(),
+		EnumerateNanos: ph.Get(timing.Enumeration).Nanoseconds(),
+		Groups:         st.NumGroups,
+		SharedQueries:  st.SharedNodes,
+		SplicedPaths:   st.SplicedPaths,
+	}
+}
+
+// Enumerate answers the batch and materialises every path. Result sets
+// grow exponentially with K; prefer Stream or Count for large K.
+func (e *Engine) Enumerate(qs []Query) (*Result, error) {
+	iqs, err := e.convert(qs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{paths: make([][]Path, len(qs))}
+	st, err := e.run(iqs, query.FuncSink(func(id int, p []graph.VertexID) {
+		cp := make(Path, len(p))
+		copy(cp, p)
+		res.paths[id] = append(res.paths[id], cp)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	res.stats = statsOf(st)
+	return res, nil
+}
+
+// Stream answers the batch and calls emit once per result path with the
+// query's batch position. The path slice is reused between calls; copy
+// it to retain it.
+func (e *Engine) Stream(qs []Query, emit func(queryIndex int, path Path)) (Stats, error) {
+	iqs, err := e.convert(qs)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, err := e.run(iqs, query.FuncSink(func(id int, p []graph.VertexID) {
+		emit(id, Path(p))
+	}))
+	if err != nil {
+		return Stats{}, err
+	}
+	return statsOf(st), nil
+}
+
+// Count answers the batch returning only per-query result counts, the
+// cheapest mode for exponentially large result sets.
+func (e *Engine) Count(qs []Query) ([]int64, Stats, error) {
+	iqs, err := e.convert(qs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	sink := query.NewCountSink(len(qs))
+	st, err := e.run(iqs, sink)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return sink.Counts, statsOf(st), nil
+}

@@ -1,0 +1,264 @@
+package hcpath
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// paperEdges is the Fig. 1 running example, through the public API.
+func paperEdges() []Edge {
+	return []Edge{
+		{0, 1}, {0, 4}, {2, 1}, {2, 4}, {5, 1},
+		{1, 7}, {1, 8}, {4, 9}, {9, 3}, {9, 15}, {9, 8},
+		{3, 15}, {7, 10}, {7, 8}, {3, 6}, {15, 6},
+		{10, 12}, {12, 11}, {12, 13}, {6, 11}, {6, 13}, {6, 14},
+	}
+}
+
+func paperGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewGraph(16, paperEdges())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+var paperQueries = []Query{
+	{S: 0, T: 11, K: 5},
+	{S: 2, T: 13, K: 5},
+	{S: 5, T: 12, K: 5},
+	{S: 4, T: 14, K: 4},
+	{S: 9, T: 14, K: 3},
+}
+
+// TestEnumeratePaperBatch: counts and one spot-checked path set from
+// the paper's Example 2.1.
+func TestEnumeratePaperBatch(t *testing.T) {
+	g := paperGraph(t)
+	eng := NewEngine(g, nil)
+	res, err := eng.Enumerate(paperQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts := []int{3, 3, 1, 2, 2}
+	for i, w := range wantCounts {
+		if res.Count(i) != w {
+			t.Errorf("query %d: %d paths, want %d", i, res.Count(i), w)
+		}
+	}
+	if res.TotalPaths() != 11 {
+		t.Errorf("TotalPaths = %d, want 11", res.TotalPaths())
+	}
+	var got []string
+	for _, p := range res.Paths(0) {
+		got = append(got, p.String())
+	}
+	sort.Strings(got)
+	want := []string{
+		"(v0, v1, v7, v10, v12, v11)",
+		"(v0, v4, v9, v15, v6, v11)",
+		"(v0, v4, v9, v3, v6, v11)",
+	}
+	sort.Strings(want)
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("q0 paths = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestAllAlgorithmsAgree: every public algorithm returns identical
+// counts on the paper batch.
+func TestAllAlgorithmsAgree(t *testing.T) {
+	g := paperGraph(t)
+	for _, alg := range []Algorithm{BatchEnumPlus, BatchEnum, BasicEnumPlus, BasicEnum} {
+		eng := NewEngine(g, &Options{Algorithm: alg})
+		counts, _, err := eng.Count(paperQueries)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		want := []int64{3, 3, 1, 2, 2}
+		for i, w := range want {
+			if counts[i] != w {
+				t.Errorf("%v: query %d count %d, want %d", alg, i, counts[i], w)
+			}
+		}
+	}
+}
+
+// TestStream: the callback sees every path with its query index.
+func TestStream(t *testing.T) {
+	g := paperGraph(t)
+	eng := NewEngine(g, nil)
+	perQuery := map[int]int{}
+	st, err := eng.Stream(paperQueries, func(i int, p Path) {
+		perQuery[i]++
+		if p[0] != paperQueries[i].S || p[len(p)-1] != paperQueries[i].T {
+			t.Errorf("query %d: path %v has wrong endpoints", i, p)
+		}
+		if p.Len() > paperQueries[i].K {
+			t.Errorf("query %d: path %v exceeds hop constraint", i, p)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perQuery[0] != 3 || perQuery[4] != 2 {
+		t.Errorf("stream counts %v", perQuery)
+	}
+	if st.EnumerateNanos <= 0 {
+		t.Error("stats missing enumeration time")
+	}
+}
+
+// TestStatsSharing: the default engine reports detected sharing on the
+// paper batch when clustered loosely.
+func TestStatsSharing(t *testing.T) {
+	g := paperGraph(t)
+	eng := NewEngine(g, &Options{Gamma: 0.8})
+	_, st, err := eng.Count(paperQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups == 0 {
+		t.Error("no query groups reported")
+	}
+	if st.SharedQueries == 0 {
+		t.Error("no shared HC-s path queries reported")
+	}
+}
+
+// TestDisableSharing still answers correctly.
+func TestDisableSharing(t *testing.T) {
+	g := paperGraph(t)
+	eng := NewEngine(g, &Options{DisableSharing: true})
+	counts, st, err := eng.Count(paperQueries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 3 {
+		t.Errorf("count %d, want 3", counts[0])
+	}
+	if st.SplicedPaths != 0 {
+		t.Errorf("sharing disabled but %d paths spliced", st.SplicedPaths)
+	}
+}
+
+// TestQueryValidation: bad hop constraints and vertices are rejected.
+func TestQueryValidation(t *testing.T) {
+	g := paperGraph(t)
+	eng := NewEngine(g, nil)
+	bad := [][]Query{
+		{{S: 0, T: 11, K: 0}},
+		{{S: 0, T: 11, K: 99}},
+		{{S: 0, T: 0, K: 3}},
+		{{S: 0, T: 999, K: 3}},
+	}
+	for i, qs := range bad {
+		if _, err := eng.Enumerate(qs); err == nil {
+			t.Errorf("case %d: invalid query accepted", i)
+		}
+	}
+}
+
+// TestMaxHopsOption widens the cap.
+func TestMaxHopsOption(t *testing.T) {
+	g, err := NewGraph(20, func() []Edge {
+		var es []Edge
+		for i := 0; i < 19; i++ {
+			es = append(es, Edge{VertexID(i), VertexID(i + 1)})
+		}
+		return es
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(g, &Options{MaxHops: 19})
+	counts, _, err := eng.Count([]Query{{S: 0, T: 19, K: 19}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 1 {
+		t.Errorf("line path count %d, want 1", counts[0])
+	}
+}
+
+// TestNewGraphErrors rejects a negative size.
+func TestNewGraphErrors(t *testing.T) {
+	if _, err := NewGraph(-1, nil); err == nil {
+		t.Error("negative vertex count accepted")
+	}
+}
+
+// TestLoadGraphEdgeList round-trips an edge-list file through the
+// public loader.
+func TestLoadGraphEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	data := "# comment\n0 1\n1 2\n2 3\n0 3\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("loaded |V|=%d |E|=%d, want 4/4", g.NumVertices(), g.NumEdges())
+	}
+	eng := NewEngine(g, nil)
+	counts, _, err := eng.Count([]Query{{S: 0, T: 3, K: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 2 {
+		t.Errorf("count %d, want 2 (direct edge and the 3-hop chain)", counts[0])
+	}
+}
+
+// TestPathString covers the Stringer and Len.
+func TestPathString(t *testing.T) {
+	p := Path{0, 4, 9}
+	if p.String() != "(v0, v4, v9)" {
+		t.Errorf("String = %s", p.String())
+	}
+	if p.Len() != 2 {
+		t.Errorf("Len = %d, want 2", p.Len())
+	}
+}
+
+// TestAlgorithmNames: public names map to the paper's.
+func TestAlgorithmNames(t *testing.T) {
+	want := map[Algorithm]string{
+		BatchEnumPlus: "BatchEnum+",
+		BatchEnum:     "BatchEnum",
+		BasicEnumPlus: "BasicEnum+",
+		BasicEnum:     "BasicEnum",
+	}
+	for a, w := range want {
+		if a.String() != w {
+			t.Errorf("%d.String() = %s, want %s", int(a), a.String(), w)
+		}
+	}
+}
+
+// TestWorkersOption: parallel execution returns the same counts.
+func TestWorkersOption(t *testing.T) {
+	g := paperGraph(t)
+	for _, workers := range []int{-1, 2} {
+		eng := NewEngine(g, &Options{Workers: workers})
+		counts, _, err := eng.Count(paperQueries)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		want := []int64{3, 3, 1, 2, 2}
+		for i, w := range want {
+			if counts[i] != w {
+				t.Errorf("workers=%d: query %d count %d, want %d", workers, i, counts[i], w)
+			}
+		}
+	}
+}

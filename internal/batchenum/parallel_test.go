@@ -1,0 +1,110 @@
+package batchenum
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/testgraphs"
+)
+
+func collectParallel(t *testing.T, g, gr *graph.Graph, qs []query.Query, opts ParallelOptions) resultSet {
+	t.Helper()
+	rs := resultSet{}
+	var st *Stats
+	st, err := RunParallel(g, gr, qs, opts, query.FuncSink(func(id int, p []graph.VertexID) {
+		rs[id] = append(rs[id], pathKey(p))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NumQueries != len(qs) {
+		t.Fatalf("stats report %d queries, want %d", st.NumQueries, len(qs))
+	}
+	for id := range rs {
+		sort.Strings(rs[id])
+	}
+	return rs
+}
+
+// TestParallelMatchesSequential: every engine, several worker counts,
+// identical result sets.
+func TestParallelMatchesSequential(t *testing.T) {
+	g := testgraphs.Paper()
+	gr := g.Reverse()
+	var qs []query.Query
+	for _, d := range testgraphs.PaperQueries() {
+		qs = append(qs, query.Query{S: d[0], T: d[1], K: uint8(d[2])})
+	}
+	want := bruteSet(g, qs)
+	for _, alg := range allAlgorithms {
+		for _, workers := range []int{1, 2, 8} {
+			got := collectParallel(t, g, gr, qs, ParallelOptions{
+				Options: Options{Algorithm: alg},
+				Workers: workers,
+			})
+			diffSets(t, fmt.Sprintf("%v workers=%d", alg, workers), want, got, len(qs))
+		}
+	}
+}
+
+// TestParallelRandom: the equivalence property under concurrency on
+// larger random batches (also exercises the race detector when tests
+// run with -race).
+func TestParallelRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(40)
+		g := graph.GenRandom(n, 2.5, int64(trial+50))
+		gr := g.Reverse()
+		var qs []query.Query
+		for len(qs) < 12 {
+			s := graph.VertexID(rng.Intn(n))
+			tt := graph.VertexID(rng.Intn(n))
+			if s == tt {
+				continue
+			}
+			qs = append(qs, query.Query{S: s, T: tt, K: uint8(2 + rng.Intn(4))})
+		}
+		want := bruteSet(g, qs)
+		for _, alg := range []Algorithm{BasicPlus, BatchPlus} {
+			got := collectParallel(t, g, gr, qs, ParallelOptions{Options: Options{Algorithm: alg}})
+			diffSets(t, fmt.Sprintf("parallel trial %d %v", trial, alg), want, got, len(qs))
+		}
+	}
+}
+
+// TestParallelEmptyAndInvalid mirror the sequential contract.
+func TestParallelEmptyAndInvalid(t *testing.T) {
+	g := testgraphs.Diamond()
+	gr := g.Reverse()
+	st, err := RunParallel(g, gr, nil, ParallelOptions{}, query.NewCountSink(0))
+	if err != nil || st.NumQueries != 0 {
+		t.Fatalf("empty batch: %+v, %v", st, err)
+	}
+	if _, err := RunParallel(g, gr, []query.Query{{S: 0, T: 0, K: 2}},
+		ParallelOptions{}, query.NewCountSink(1)); err == nil {
+		t.Fatal("invalid query accepted")
+	}
+}
+
+// BenchmarkParallelScaling measures worker scaling on one batch.
+func BenchmarkParallelScaling(b *testing.B) {
+	s := getSetup(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink := query.NewCountSink(len(s.qs))
+				if _, err := RunParallel(s.g, s.gr, s.qs, ParallelOptions{
+					Options: Options{Algorithm: BasicPlus},
+					Workers: workers,
+				}, sink); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

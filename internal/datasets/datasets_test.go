@@ -1,0 +1,125 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestRegistryComplete: twelve datasets in Table I order.
+func TestRegistryComplete(t *testing.T) {
+	specs := All()
+	if len(specs) != 12 {
+		t.Fatalf("registry has %d datasets, want 12", len(specs))
+	}
+	wantOrder := []string{"EP", "SL", "BK", "WT", "BS", "SK", "UK", "DA", "PO", "LJ", "TW", "FS"}
+	for i, s := range specs {
+		if s.Code != wantOrder[i] {
+			t.Errorf("position %d: code %s, want %s", i, s.Code, wantOrder[i])
+		}
+		if s.Name == "" || s.PaperV == 0 || s.PaperE == 0 {
+			t.Errorf("%s: incomplete Table I statistics %+v", s.Code, s)
+		}
+	}
+}
+
+// TestBuildValidGraphs: every stand-in builds to a valid, non-trivial
+// graph at a reduced scale.
+func TestBuildValidGraphs(t *testing.T) {
+	for _, s := range All() {
+		g := s.Build(0.1)
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", s.Code, err)
+		}
+		if g.NumVertices() < 16 || g.NumEdges() == 0 {
+			t.Errorf("%s: degenerate graph |V|=%d |E|=%d", s.Code, g.NumVertices(), g.NumEdges())
+		}
+	}
+}
+
+// TestBuildDeterministic: the same spec builds the same graph.
+func TestBuildDeterministic(t *testing.T) {
+	s, err := ByCode("EP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := s.Build(0.2), s.Build(0.2)
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("non-deterministic build: %d/%d vs %d/%d edges",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	equal := true
+	a.Edges(func(src, dst graph.VertexID) bool {
+		if !b.HasEdge(src, dst) {
+			equal = false
+			return false
+		}
+		return true
+	})
+	if !equal {
+		t.Fatal("same spec produced different edge sets")
+	}
+}
+
+// TestDensityOrderingPreserved: stand-in average degree must follow the
+// relative ordering of Table I for the extremes (UK/DA densest, BK/WT
+// sparsest), which drives the experiments' cross-dataset shapes.
+func TestDensityOrderingPreserved(t *testing.T) {
+	davg := map[string]float64{}
+	for _, s := range All() {
+		g := s.Build(0.15)
+		davg[s.Code] = float64(g.NumEdges()) / float64(g.NumVertices())
+	}
+	for _, dense := range []string{"UK", "DA"} {
+		for _, sparse := range []string{"BK", "WT"} {
+			if davg[dense] <= davg[sparse] {
+				t.Errorf("davg(%s)=%.1f not above davg(%s)=%.1f", dense, davg[dense], sparse, davg[sparse])
+			}
+		}
+	}
+}
+
+// TestByCodeUnknown reports an error.
+func TestByCodeUnknown(t *testing.T) {
+	if _, err := ByCode("XX"); err == nil {
+		t.Fatal("unknown code accepted")
+	}
+}
+
+// TestSelect filters and orders.
+func TestSelect(t *testing.T) {
+	got, err := Select([]string{"FS", "EP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Code != "EP" || got[1].Code != "FS" {
+		t.Fatalf("Select = %v, want [EP FS] in Table I order", got)
+	}
+	all, err := Select(nil)
+	if err != nil || len(all) != 12 {
+		t.Fatalf("empty Select = %d specs, err %v", len(all), err)
+	}
+	if _, err := Select([]string{"nope"}); err == nil {
+		t.Fatal("bad code accepted")
+	}
+}
+
+// TestLargest: TW and FS are the scalability subjects.
+func TestLargest(t *testing.T) {
+	got := Largest()
+	if len(got) != 2 || got[0] != "FS" || got[1] != "TW" {
+		t.Fatalf("Largest = %v, want [FS TW]", got)
+	}
+}
+
+// TestScaleParameter grows and shrinks the graph.
+func TestScaleParameter(t *testing.T) {
+	s, err := ByCode("SL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := s.Build(0.1), s.Build(0.5)
+	if small.NumVertices() >= big.NumVertices() {
+		t.Errorf("scale 0.1 (%d vertices) not below scale 0.5 (%d)", small.NumVertices(), big.NumVertices())
+	}
+}

@@ -1,0 +1,112 @@
+package exps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/batchenum"
+	"repro/internal/graph"
+	"repro/internal/msbfs"
+	"repro/internal/pathenum"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// Exp1Levels are the similarity levels of Fig. 7.
+var Exp1Levels = []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9}
+
+// Exp1Row is one (dataset, similarity) cell of Fig. 7: processing time
+// of the five algorithms plus the achieved speedup of BatchEnum+ over
+// BasicEnum+ and the theoretical limit 1/(1-µ).
+type Exp1Row struct {
+	Code       string
+	TargetMu   float64
+	MeasuredMu float64
+	PathEnum   time.Duration
+	Basic      time.Duration
+	BasicPlus  time.Duration
+	Batch      time.Duration
+	BatchPlus  time.Duration
+	Speedup    float64
+	Limit      float64
+}
+
+// Exp1 varies query similarity from 0% to 90% and measures all five
+// algorithms (Fig. 7).
+func Exp1(cfg Config) ([]Exp1Row, error) {
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Exp1Row
+	for _, spec := range specs {
+		d := cfg.build(spec)
+		lo, hi := cfg.kRange()
+		for _, level := range Exp1Levels {
+			qs, mu, err := workload.WithSimilarity(d.g, d.gr, workload.SimilarityConfig{
+				Config:   workload.Config{N: cfg.querySetSize(), KMin: lo, KMax: hi, Seed: cfg.Seed},
+				TargetMu: level,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := Exp1Row{Code: spec.Code, TargetMu: level, MeasuredMu: mu}
+			row.PathEnum = timePathEnum(d, qs)
+			for _, alg := range []batchenum.Algorithm{
+				batchenum.Basic, batchenum.BasicPlus, batchenum.Batch, batchenum.BatchPlus,
+			} {
+				elapsed, _, err := timeRunBest(d, qs, batchenum.Options{Algorithm: alg, Gamma: cfg.gamma()}, 3)
+				if err != nil {
+					return nil, err
+				}
+				switch alg {
+				case batchenum.Basic:
+					row.Basic = elapsed
+				case batchenum.BasicPlus:
+					row.BasicPlus = elapsed
+				case batchenum.Batch:
+					row.Batch = elapsed
+				case batchenum.BatchPlus:
+					row.BatchPlus = elapsed
+				}
+			}
+			if row.BatchPlus > 0 {
+				row.Speedup = float64(row.BasicPlus) / float64(row.BatchPlus)
+			}
+			if mu < 1 {
+				row.Limit = 1 / (1 - mu)
+			}
+			rows = append(rows, row)
+		}
+	}
+	printExp1(cfg, rows)
+	return rows, nil
+}
+
+// timePathEnum measures the paper's PathEnum baseline: each query fully
+// independent, including its own two single-source BFS index passes
+// (the original implementation shares nothing across queries).
+func timePathEnum(d builtDataset, qs []query.Query) time.Duration {
+	t0 := time.Now()
+	for i := range qs {
+		q := qs[i]
+		q.ID = i
+		fwd := msbfs.Single(d.g, q.S, q.K)
+		bwd := msbfs.Single(d.gr, q.T, q.K)
+		pathenum.Enumerate(d.g, d.gr, q, fwd, bwd, pathenum.Options{}, func([]graph.VertexID) {})
+	}
+	return time.Since(t0)
+}
+
+func printExp1(cfg Config, rows []Exp1Row) {
+	w := cfg.out()
+	header(w, "Fig. 7 (Exp-1): processing time and speedup vs query similarity")
+	fmt.Fprintf(w, "%-4s %5s %5s %12s %12s %12s %12s %12s %8s %6s\n",
+		"Code", "µ*", "µ", "PathEnum", "Basic", "Basic+", "Batch", "Batch+", "speedup", "limit")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %5.2f %5.2f %12s %12s %12s %12s %12s %7.2fx %5.1fx\n",
+			r.Code, r.TargetMu, r.MeasuredMu,
+			fmtDur(r.PathEnum), fmtDur(r.Basic), fmtDur(r.BasicPlus),
+			fmtDur(r.Batch), fmtDur(r.BatchPlus), r.Speedup, r.Limit)
+	}
+}

@@ -1,0 +1,80 @@
+package exps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/batchenum"
+	"repro/internal/workload"
+)
+
+// Exp2Sizes are the query-set sizes of Fig. 8.
+var Exp2Sizes = []int{100, 200, 300, 400, 500}
+
+// Exp2Row is one (dataset, |Q|) cell of Fig. 8.
+type Exp2Row struct {
+	Code      string
+	Size      int
+	PathEnum  time.Duration
+	Basic     time.Duration
+	BasicPlus time.Duration
+	Batch     time.Duration
+	BatchPlus time.Duration
+}
+
+// Exp2 varies the query set size and measures all five algorithms
+// (Fig. 8). Sizes scale with the configured query-set size so that
+// reduced-scale runs keep the 1:5 sweep shape.
+func Exp2(cfg Config) ([]Exp2Row, error) {
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	base := cfg.querySetSize()
+	var rows []Exp2Row
+	for _, spec := range specs {
+		d := cfg.build(spec)
+		lo, hi := cfg.kRange()
+		for i, paperSize := range Exp2Sizes {
+			size := base * (i + 1)
+			qs, err := workload.Random(d.g, workload.Config{
+				N: size, KMin: lo, KMax: hi, Seed: cfg.Seed + int64(i),
+			})
+			if err != nil {
+				return nil, err
+			}
+			row := Exp2Row{Code: spec.Code, Size: size}
+			_ = paperSize
+			row.PathEnum = timePathEnum(d, qs)
+			for _, alg := range []batchenum.Algorithm{
+				batchenum.Basic, batchenum.BasicPlus, batchenum.Batch, batchenum.BatchPlus,
+			} {
+				elapsed, _, err := timeRunBest(d, qs, batchenum.Options{Algorithm: alg, Gamma: cfg.gamma()}, 2)
+				if err != nil {
+					return nil, err
+				}
+				switch alg {
+				case batchenum.Basic:
+					row.Basic = elapsed
+				case batchenum.BasicPlus:
+					row.BasicPlus = elapsed
+				case batchenum.Batch:
+					row.Batch = elapsed
+				case batchenum.BatchPlus:
+					row.BatchPlus = elapsed
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	w := cfg.out()
+	header(w, "Fig. 8 (Exp-2): processing time vs query set size")
+	fmt.Fprintf(w, "%-4s %6s %12s %12s %12s %12s %12s\n",
+		"Code", "|Q|", "PathEnum", "Basic", "Basic+", "Batch", "Batch+")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %6d %12s %12s %12s %12s %12s\n",
+			r.Code, r.Size, fmtDur(r.PathEnum), fmtDur(r.Basic), fmtDur(r.BasicPlus),
+			fmtDur(r.Batch), fmtDur(r.BatchPlus))
+	}
+	return rows, nil
+}

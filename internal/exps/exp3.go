@@ -1,0 +1,114 @@
+package exps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/batchenum"
+	"repro/internal/timing"
+	"repro/internal/workload"
+)
+
+// Exp3Row is one dataset's BatchEnum+ phase decomposition (Fig. 9).
+type Exp3Row struct {
+	Code        string
+	BuildIndex  time.Duration
+	Cluster     time.Duration
+	Identify    time.Duration
+	Enumeration time.Duration
+}
+
+// Total returns the summed processing time.
+func (r Exp3Row) Total() time.Duration {
+	return r.BuildIndex + r.Cluster + r.Identify + r.Enumeration
+}
+
+// Exp3 decomposes BatchEnum+ processing time into its four sub-steps on
+// a similarity-mixed workload (sharing must actually occur for the
+// decomposition to be informative, as in the paper's default setup).
+func Exp3(cfg Config) ([]Exp3Row, error) {
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Exp3Row
+	for _, spec := range specs {
+		d := cfg.build(spec)
+		lo, hi := cfg.kRange()
+		qs, _, err := workload.WithSimilarity(d.g, d.gr, workload.SimilarityConfig{
+			Config:   workload.Config{N: cfg.querySetSize(), KMin: lo, KMax: hi, Seed: cfg.Seed},
+			TargetMu: 0.5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		_, _, st, err := timeRun(d, qs, batchenum.Options{Algorithm: batchenum.BatchPlus, Gamma: cfg.gamma()})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Exp3Row{
+			Code:        spec.Code,
+			BuildIndex:  st.Phases.Get(timing.BuildIndex),
+			Cluster:     st.Phases.Get(timing.ClusterQuery),
+			Identify:    st.Phases.Get(timing.IdentifySubquery),
+			Enumeration: st.Phases.Get(timing.Enumeration),
+		})
+	}
+	w := cfg.out()
+	header(w, "Fig. 9 (Exp-3): BatchEnum+ processing time decomposition")
+	fmt.Fprintf(w, "%-4s %14s %14s %16s %14s %14s\n",
+		"Code", "BuildIndex", "ClusterQuery", "IdentifySubquery", "Enumeration", "total")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %14s %14s %16s %14s %14s\n",
+			r.Code, fmtDur(r.BuildIndex), fmtDur(r.Cluster), fmtDur(r.Identify),
+			fmtDur(r.Enumeration), fmtDur(r.Total()))
+	}
+	return rows, nil
+}
+
+// Exp4Gammas are the clustering thresholds of Fig. 10.
+var Exp4Gammas = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// Exp4Row is one (dataset, γ) cell of Fig. 10.
+type Exp4Row struct {
+	Code      string
+	Gamma     float64
+	BatchPlus time.Duration
+	Groups    int
+}
+
+// Exp4 sweeps the clustering threshold γ and measures BatchEnum+ on a
+// similarity-mixed workload (Fig. 10: a turning point appears because
+// small γ over-merges dissimilar queries while large γ under-shares).
+func Exp4(cfg Config) ([]Exp4Row, error) {
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Exp4Row
+	for _, spec := range specs {
+		d := cfg.build(spec)
+		lo, hi := cfg.kRange()
+		qs, _, err := workload.WithSimilarity(d.g, d.gr, workload.SimilarityConfig{
+			Config:   workload.Config{N: cfg.querySetSize(), KMin: lo, KMax: hi, Seed: cfg.Seed},
+			TargetMu: 0.5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, gamma := range Exp4Gammas {
+			elapsed, _, st, err := timeRun(d, qs, batchenum.Options{Algorithm: batchenum.BatchPlus, Gamma: gamma})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Exp4Row{Code: spec.Code, Gamma: gamma, BatchPlus: elapsed, Groups: st.NumGroups})
+		}
+	}
+	w := cfg.out()
+	header(w, "Fig. 10 (Exp-4): BatchEnum+ processing time vs clustering threshold γ")
+	fmt.Fprintf(w, "%-4s %5s %12s %8s\n", "Code", "γ", "time", "groups")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %5.1f %12s %8d\n", r.Code, r.Gamma, fmtDur(r.BatchPlus), r.Groups)
+	}
+	return rows, nil
+}

@@ -1,0 +1,204 @@
+package exps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps driver smoke tests fast: two small datasets, tiny
+// workloads, low hop constraints.
+func smallCfg(out *bytes.Buffer) Config {
+	return Config{
+		Datasets:         []string{"EP", "BK"},
+		Scale:            0.15,
+		QuerySetSize:     10,
+		KMin:             3,
+		KMax:             4,
+		Seed:             1,
+		MaxKSPExpansions: 100_000,
+		Out:              out,
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var out bytes.Buffer
+	rows, err := Table1(smallCfg(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.V == 0 || r.E == 0 || r.PaperV == 0 {
+			t.Errorf("incomplete row %+v", r)
+		}
+	}
+	if !strings.Contains(out.String(), "Table I") {
+		t.Error("printer produced no Table I heading")
+	}
+}
+
+func TestFig3c(t *testing.T) {
+	var out bytes.Buffer
+	rows, err := Fig3c(smallCfg(&out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Enumerate <= 0 {
+			t.Errorf("%s: zero enumeration time", r.Code)
+		}
+		if r.Ratio < 1 {
+			t.Errorf("%s: scanning materialised paths slower than enumerating (ratio %.1f)", r.Code, r.Ratio)
+		}
+	}
+}
+
+func TestExp1(t *testing.T) {
+	var out bytes.Buffer
+	cfg := smallCfg(&out)
+	cfg.Datasets = []string{"EP"}
+	rows, err := Exp1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Exp1Levels) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Exp1Levels))
+	}
+	for _, r := range rows {
+		if r.BatchPlus <= 0 || r.BasicPlus <= 0 || r.PathEnum <= 0 {
+			t.Errorf("µ*=%.1f: missing timings %+v", r.TargetMu, r)
+		}
+	}
+	// Measured µ must rise across the sweep — unless the reduced-scale
+	// graph is so small that random queries already overlap near-fully
+	// (k-hop balls covering the whole graph), which leaves no headroom.
+	if rows[0].MeasuredMu < 0.85 && rows[len(rows)-1].MeasuredMu <= rows[0].MeasuredMu {
+		t.Errorf("similarity sweep not increasing: first µ=%.2f last µ=%.2f",
+			rows[0].MeasuredMu, rows[len(rows)-1].MeasuredMu)
+	}
+}
+
+func TestExp2(t *testing.T) {
+	var out bytes.Buffer
+	cfg := smallCfg(&out)
+	cfg.Datasets = []string{"EP"}
+	cfg.QuerySetSize = 5
+	rows, err := Exp2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Exp2Sizes) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Exp2Sizes))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Size <= rows[i-1].Size {
+			t.Errorf("sizes not increasing: %d after %d", rows[i].Size, rows[i-1].Size)
+		}
+	}
+}
+
+func TestExp3(t *testing.T) {
+	var out bytes.Buffer
+	cfg := smallCfg(&out)
+	rows, err := Exp3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Total() <= 0 {
+			t.Errorf("%s: empty decomposition", r.Code)
+		}
+		if r.BuildIndex <= 0 || r.Enumeration <= 0 {
+			t.Errorf("%s: missing phases %+v", r.Code, r)
+		}
+	}
+}
+
+func TestExp4(t *testing.T) {
+	var out bytes.Buffer
+	cfg := smallCfg(&out)
+	cfg.Datasets = []string{"EP"}
+	rows, err := Exp4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Exp4Gammas) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Exp4Gammas))
+	}
+	// Larger γ merges less: group counts must be non-decreasing in γ.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Groups < rows[i-1].Groups {
+			t.Errorf("γ=%.1f has %d groups, fewer than γ=%.1f's %d",
+				rows[i].Gamma, rows[i].Groups, rows[i-1].Gamma, rows[i-1].Groups)
+		}
+	}
+}
+
+func TestExp5(t *testing.T) {
+	var out bytes.Buffer
+	cfg := smallCfg(&out)
+	cfg.Datasets = []string{"EP"} // override the large default subjects
+	rows, err := Exp5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Exp5Fractions) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(Exp5Fractions))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].V < rows[i-1].V {
+			t.Errorf("vertex counts not increasing across fractions: %d after %d",
+				rows[i].V, rows[i-1].V)
+		}
+	}
+}
+
+func TestExp6(t *testing.T) {
+	var out bytes.Buffer
+	cfg := smallCfg(&out)
+	cfg.Datasets = []string{"EP"}
+	cfg.QuerySetSize = 5
+	rows, err := Exp6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.BatchPlus <= 0 {
+		t.Error("missing BatchEnum+ timing")
+	}
+	if !r.DkSPOT && r.DkSP <= 0 {
+		t.Error("missing DkSP timing")
+	}
+}
+
+func TestExp7(t *testing.T) {
+	var out bytes.Buffer
+	cfg := smallCfg(&out)
+	cfg.Datasets = []string{"EP"}
+	cfg.QuerySetSize = 5
+	rows, err := Exp7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // k = 3..7
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	// Path counts must not shrink as k grows (same seed per k differs,
+	// so allow equality but catch gross inversions at the extremes).
+	if rows[4].AvgPaths < rows[0].AvgPaths {
+		t.Errorf("avg paths at k=7 (%.1f) below k=3 (%.1f)", rows[4].AvgPaths, rows[0].AvgPaths)
+	}
+}
+
+func TestBadDatasetCode(t *testing.T) {
+	cfg := Config{Datasets: []string{"nope"}}
+	if _, err := Table1(cfg); err == nil {
+		t.Error("Table1 accepted a bad code")
+	}
+	if _, err := Exp1(cfg); err == nil {
+		t.Error("Exp1 accepted a bad code")
+	}
+}

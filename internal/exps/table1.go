@@ -1,0 +1,162 @@
+package exps
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/msbfs"
+	"repro/internal/pathenum"
+	"repro/internal/pathjoin"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// Table1Row pairs the stand-in's realised statistics with the paper's
+// Table I columns for the original dataset.
+type Table1Row struct {
+	Code, Name string
+	// Stand-in statistics.
+	V, E int
+	Davg float64
+	Dmax int
+	// Original (paper) statistics.
+	PaperV, PaperE int64
+	PaperDavg      float64
+	PaperDmax      int64
+}
+
+// Table1 generates every selected stand-in and reports its statistics
+// next to the original's.
+func Table1(cfg Config) ([]Table1Row, error) {
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, 0, len(specs))
+	for _, spec := range specs {
+		d := cfg.build(spec)
+		st := graph.ComputeStats(d.g)
+		rows = append(rows, Table1Row{
+			Code: spec.Code, Name: spec.Name,
+			V: st.NumVertices, E: st.NumEdges, Davg: st.AvgDegree, Dmax: st.MaxDegree,
+			PaperV: spec.PaperV, PaperE: spec.PaperE,
+			PaperDavg: spec.PaperDavg, PaperDmax: spec.PaperDmax,
+		})
+	}
+	w := cfg.out()
+	header(w, "Table I: dataset statistics (stand-in | paper original)")
+	fmt.Fprintf(w, "%-4s %-14s %10s %10s %7s %8s | %12s %14s %8s %9s\n",
+		"Code", "Name", "|V|", "|E|", "davg", "dmax", "paper |V|", "paper |E|", "davg", "dmax")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %-14s %10d %10d %7.1f %8d | %12d %14d %8.1f %9d\n",
+			r.Code, r.Name, r.V, r.E, r.Davg, r.Dmax,
+			r.PaperV, r.PaperE, r.PaperDavg, r.PaperDmax)
+	}
+	return rows, nil
+}
+
+// Fig3cRow reports, for one dataset, the average per-query time of full
+// PathEnum enumeration versus retrieving the already-materialised
+// HC-s-t paths and scanning them once — the gap motivating computation
+// sharing (Fig. 3(c) shows roughly three orders of magnitude).
+type Fig3cRow struct {
+	Code        string
+	Queries     int
+	Enumerate   time.Duration // avg per query
+	Materialize time.Duration // avg per query
+	Ratio       float64       // Enumerate / Materialize
+}
+
+// Fig3c measures the enumeration-vs-materialisation gap. The paper uses
+// 1000 random queries per dataset; the stand-in default is the
+// configured query-set size.
+func Fig3c(cfg Config) ([]Fig3cRow, error) {
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig3cRow
+	for _, spec := range specs {
+		d := cfg.build(spec)
+		qs, err := cfg.defaultWorkload(d)
+		if err != nil {
+			return nil, err
+		}
+		var enumTotal, matTotal time.Duration
+		for i := range qs {
+			qs[i].ID = i
+			q := qs[i]
+			store := pathjoin.NewStore(64, 512)
+			fwd := msbfs.Single(d.g, q.S, q.K)
+			bwd := msbfs.Single(d.gr, q.T, q.K)
+			t0 := time.Now()
+			pathenum.Enumerate(d.g, d.gr, q, fwd, bwd, pathenum.Options{}, func(p []graph.VertexID) {
+				store.Add(p)
+			})
+			enumTotal += time.Since(t0)
+			t1 := time.Now()
+			pathenum.Materialized(store)
+			matTotal += time.Since(t1)
+		}
+		n := time.Duration(len(qs))
+		row := Fig3cRow{
+			Code: spec.Code, Queries: len(qs),
+			Enumerate: enumTotal / n, Materialize: matTotal / n,
+		}
+		if row.Materialize > 0 {
+			row.Ratio = float64(row.Enumerate) / float64(row.Materialize)
+		}
+		rows = append(rows, row)
+	}
+	w := cfg.out()
+	header(w, "Fig. 3(c): per-query enumeration vs materialised-scan time")
+	fmt.Fprintf(w, "%-4s %8s %14s %14s %10s\n", "Code", "queries", "enumerate", "scan", "ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %8d %14s %14s %9.0fx\n",
+			r.Code, r.Queries, fmtDur(r.Enumerate), fmtDur(r.Materialize), r.Ratio)
+	}
+	return rows, nil
+}
+
+// Exp7Row reports the average number of HC-s-t paths per query at one
+// hop constraint (Fig. 13: growth is exponential in k).
+type Exp7Row struct {
+	Code     string
+	K        int
+	AvgPaths float64
+}
+
+// Exp7 sweeps k from 3 to 7 with fixed-k random workloads and reports
+// the average result-set size per query.
+func Exp7(cfg Config) ([]Exp7Row, error) {
+	specs, err := cfg.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Exp7Row
+	for _, spec := range specs {
+		d := cfg.build(spec)
+		for k := 3; k <= 7; k++ {
+			qs, err := workload.RandomFixedK(d.g, cfg.querySetSize(), k, cfg.Seed+int64(k))
+			if err != nil {
+				return nil, err
+			}
+			sink := query.NewCountSink(len(qs))
+			if _, err := runCount(d, qs, sink); err != nil {
+				return nil, err
+			}
+			rows = append(rows, Exp7Row{
+				Code: spec.Code, K: k,
+				AvgPaths: float64(sink.Total()) / float64(len(qs)),
+			})
+		}
+	}
+	w := cfg.out()
+	header(w, "Fig. 13 (Exp-7): average number of HC-s-t paths per query vs k")
+	fmt.Fprintf(w, "%-4s %4s %16s\n", "Code", "k", "avg paths")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-4s %4d %16.1f\n", r.Code, r.K, r.AvgPaths)
+	}
+	return rows, nil
+}

@@ -1,0 +1,243 @@
+// Package graph provides the directed-graph substrate used by all
+// enumeration algorithms in this repository: a compact CSR (compressed
+// sparse row) representation with O(1) out-neighbour slicing, the reverse
+// graph for backward searches, loaders and writers for edge-list and
+// binary formats, degree statistics matching Table I of the paper, vertex
+// and edge sampling for the scalability experiment (Exp-5), and synthetic
+// generators used as stand-ins for the paper's twelve real-world datasets.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. Vertices are dense integers in [0, N).
+type VertexID = uint32
+
+// NoVertex is a sentinel that is never a valid vertex id.
+const NoVertex = ^VertexID(0)
+
+// Edge is a directed edge from Src to Dst.
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+}
+
+// Graph is an immutable unweighted directed graph in CSR form.
+//
+// offsets has length n+1; the out-neighbours of v are
+// targets[offsets[v]:offsets[v+1]]. Neighbour lists are sorted by vertex
+// id and deduplicated; self-loops are removed at construction time (a
+// simple path can never use one).
+type Graph struct {
+	offsets []int64
+	targets []VertexID
+}
+
+// NumVertices returns the number of vertices n.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of directed edges m (after dedup).
+func (g *Graph) NumEdges() int { return len(g.targets) }
+
+// OutNeighbors returns the sorted out-neighbour list of v. The returned
+// slice aliases internal storage and must not be modified.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.targets[g.offsets[v]:g.offsets[v+1]]
+}
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// HasEdge reports whether the edge (u, v) exists, via binary search on
+// u's sorted neighbour list.
+func (g *Graph) HasEdge(u, v VertexID) bool {
+	nbrs := g.OutNeighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Edges calls fn for every edge in the graph, in (src, dst) order.
+// Iteration stops early if fn returns false.
+func (g *Graph) Edges(fn func(src, dst VertexID) bool) {
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			if !fn(VertexID(v), w) {
+				return
+			}
+		}
+	}
+}
+
+// Reverse builds the reverse graph Gr: edge (u,v) becomes (v,u). The
+// construction is a counting sort and runs in O(n+m).
+func (g *Graph) Reverse() *Graph {
+	n := g.NumVertices()
+	rev := &Graph{
+		offsets: make([]int64, n+1),
+		targets: make([]VertexID, len(g.targets)),
+	}
+	// Count in-degrees.
+	for _, w := range g.targets {
+		rev.offsets[w+1]++
+	}
+	for v := 0; v < n; v++ {
+		rev.offsets[v+1] += rev.offsets[v]
+	}
+	cursor := make([]int64, n)
+	copy(cursor, rev.offsets[:n])
+	for v := 0; v < n; v++ {
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			rev.targets[cursor[w]] = VertexID(v)
+			cursor[w]++
+		}
+	}
+	// Counting sort over sorted source ids yields sorted neighbour lists
+	// already, because sources are visited in increasing order.
+	return rev
+}
+
+// Builder accumulates edges and produces an immutable Graph. The zero
+// value is ready to use.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a builder for a graph with at least n vertices.
+func NewBuilder(n int) *Builder { return &Builder{n: n} }
+
+// AddEdge records the directed edge (src, dst). Vertex ids beyond the
+// initial n grow the graph. Self-loops are silently dropped.
+func (b *Builder) AddEdge(src, dst VertexID) {
+	if src == dst {
+		return
+	}
+	if int(src) >= b.n {
+		b.n = int(src) + 1
+	}
+	if int(dst) >= b.n {
+		b.n = int(dst) + 1
+	}
+	b.edges = append(b.edges, Edge{src, dst})
+}
+
+// AddEdges records a batch of edges.
+func (b *Builder) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		b.AddEdge(e.Src, e.Dst)
+	}
+}
+
+// NumPendingEdges returns how many edges have been added so far
+// (before dedup).
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build sorts, deduplicates and freezes the edges into a CSR Graph.
+// The builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].Src != b.edges[j].Src {
+			return b.edges[i].Src < b.edges[j].Src
+		}
+		return b.edges[i].Dst < b.edges[j].Dst
+	})
+	g := &Graph{offsets: make([]int64, b.n+1)}
+	g.targets = make([]VertexID, 0, len(b.edges))
+	var prev Edge
+	first := true
+	for _, e := range b.edges {
+		if !first && e == prev {
+			continue // duplicate edge
+		}
+		first, prev = false, e
+		g.targets = append(g.targets, e.Dst)
+		g.offsets[e.Src+1]++
+	}
+	for v := 0; v < b.n; v++ {
+		g.offsets[v+1] += g.offsets[v]
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor building a graph directly from
+// an edge slice.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	b.AddEdges(edges)
+	return b.Build()
+}
+
+// Stats summarises a graph in the shape of the paper's Table I.
+type Stats struct {
+	NumVertices int
+	NumEdges    int
+	AvgDegree   float64 // davg = m / n
+	MaxDegree   int     // dmax, maximum total (in+out) degree
+}
+
+// ComputeStats computes Table-I style statistics. dmax is the maximum
+// total degree: generators that skew in-degree only (preferential
+// attachment targets) would otherwise report a flat dmax.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	s := Stats{NumVertices: n, NumEdges: g.NumEdges()}
+	if n > 0 {
+		s.AvgDegree = float64(s.NumEdges) / float64(n)
+	}
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] += g.OutDegree(VertexID(v))
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			deg[w]++
+		}
+	}
+	for _, d := range deg {
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+	}
+	return s
+}
+
+// String renders the statistics as a single human-readable line.
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d davg=%.1f dmax=%d",
+		s.NumVertices, s.NumEdges, s.AvgDegree, s.MaxDegree)
+}
+
+// Validate checks structural invariants of the CSR arrays. It is used by
+// tests and by loaders that read untrusted input.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	if len(g.offsets) == 0 {
+		return fmt.Errorf("graph: missing offset array")
+	}
+	if g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
+	}
+	if g.offsets[n] != int64(len(g.targets)) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[n], len(g.targets))
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+		nbrs := g.OutNeighbors(VertexID(v))
+		for i, w := range nbrs {
+			if int(w) >= n {
+				return fmt.Errorf("graph: edge (%d,%d) out of range n=%d", v, w, n)
+			}
+			if w == VertexID(v) {
+				return fmt.Errorf("graph: self-loop at vertex %d", v)
+			}
+			if i > 0 && nbrs[i-1] >= w {
+				return fmt.Errorf("graph: neighbours of %d not strictly sorted", v)
+			}
+		}
+	}
+	return nil
+}

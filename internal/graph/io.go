@@ -1,0 +1,147 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadEdgeList parses a whitespace-separated edge list ("src dst" per
+// line). Lines starting with '#' or '%' are comments. Vertex ids must be
+// non-negative integers; the graph size is the max id + 1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	b := NewBuilder(0)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad src %q: %v", lineNo, fields[0], err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad dst %q: %v", lineNo, fields[1], err)
+		}
+		b.AddEdge(VertexID(src), VertexID(dst))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: scanning edge list: %w", err)
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph as a plain edge list, one "src dst" pair
+// per line.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	var err error
+	g.Edges(func(src, dst VertexID) bool {
+		_, err = fmt.Fprintf(bw, "%d %d\n", src, dst)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// binaryMagic identifies the binary graph format.
+var binaryMagic = [8]byte{'H', 'C', 'G', 'R', 'A', 'P', 'H', '1'}
+
+// WriteBinary writes the CSR arrays in a compact little-endian binary
+// format: magic, n (uint64), m (uint64), offsets (n+1 × int64),
+// targets (m × uint32).
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	hdr := [2]uint64{uint64(g.NumVertices()), uint64(g.NumEdges())}
+	if err := binary.Write(bw, binary.LittleEndian, hdr[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.targets); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary and validates it.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
+	}
+	var hdr [2]uint64
+	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	n, m := hdr[0], hdr[1]
+	const maxReasonable = 1 << 33
+	if n > maxReasonable || m > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
+	}
+	g := &Graph{
+		offsets: make([]int64, n+1),
+		targets: make([]VertexID, m),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.targets); err != nil {
+		return nil, fmt.Errorf("graph: reading targets: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadFile loads a graph from a path, choosing the format by extension:
+// ".bin" uses the binary format, anything else is parsed as an edge list.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return ReadBinary(f)
+	}
+	return ReadEdgeList(f)
+}
+
+// SaveFile writes a graph to a path, choosing the format by extension as
+// in LoadFile.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return WriteBinary(f, g)
+	}
+	return WriteEdgeList(f, g)
+}

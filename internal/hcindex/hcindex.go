@@ -1,0 +1,132 @@
+// Package hcindex builds and serves the PathEnum-style distance index for
+// a batch of HC-s-t path queries (§III of the paper): for every query
+// q(s,t,k) it holds dist_G(s,·) and dist_Gr(t,·) capped at k hops,
+// constructed with multi-source BFSs from the source set S and target set
+// T. The hop-constrained neighbour sets Γ(q)/Γr(q) (Def. 4.4) fall out of
+// the same traversals and feed query clustering without extra work.
+package hcindex
+
+import (
+	"repro/internal/graph"
+	"repro/internal/msbfs"
+	"repro/internal/query"
+)
+
+// Unreachable mirrors msbfs.Unreachable for call sites that only import
+// the index.
+const Unreachable = msbfs.Unreachable
+
+// Index holds per-query forward and backward hop-bounded distance maps.
+type Index struct {
+	fwd []*msbfs.DistMap // fwd[i]: distances from queries[i].S on G
+	bwd []*msbfs.DistMap // bwd[i]: distances from queries[i].T on Gr
+}
+
+// Build constructs the index for the batch with two multi-source BFS
+// passes (one on G, one on Gr), deduplicating identical (vertex, cap)
+// sources so shared endpoints are traversed once.
+func Build(g, gr *graph.Graph, queries []query.Query) *Index {
+	idx := &Index{
+		fwd: dedupRun(g, queries, func(q query.Query) (graph.VertexID, uint8) { return q.S, q.K }),
+		bwd: dedupRun(gr, queries, func(q query.Query) (graph.VertexID, uint8) { return q.T, q.K }),
+	}
+	return idx
+}
+
+type srcKey struct {
+	v graph.VertexID
+	k uint8
+}
+
+// dedupRun runs one multi-source BFS for the distinct (vertex, cap)
+// pairs produced by pick, then fans results back out per query.
+func dedupRun(g *graph.Graph, queries []query.Query, pick func(query.Query) (graph.VertexID, uint8)) []*msbfs.DistMap {
+	slot := make(map[srcKey]int)
+	var sources []graph.VertexID
+	var caps []uint8
+	assign := make([]int, len(queries))
+	for i, q := range queries {
+		v, k := pick(q)
+		key := srcKey{v, k}
+		s, ok := slot[key]
+		if !ok {
+			s = len(sources)
+			slot[key] = s
+			sources = append(sources, v)
+			caps = append(caps, k)
+		}
+		assign[i] = s
+	}
+	res := msbfs.MultiSource(g, sources, caps)
+	out := make([]*msbfs.DistMap, len(queries))
+	for i, s := range assign {
+		out[i] = res[s]
+	}
+	return out
+}
+
+// DistFromS returns dist_G(q.S, v) for the i-th query, or Unreachable if
+// v is beyond q.K hops.
+func (idx *Index) DistFromS(i int, v graph.VertexID) uint8 { return idx.fwd[i].Dist(v) }
+
+// DistToT returns dist_G(v, q.T) (computed as dist_Gr(q.T, v)) for the
+// i-th query, or Unreachable if beyond q.K hops.
+func (idx *Index) DistToT(i int, v graph.VertexID) uint8 { return idx.bwd[i].Dist(v) }
+
+// Gamma returns Γ(q): the sorted vertices reachable from q.S within q.K
+// hops on G (Def. 4.4). The slice must not be modified.
+func (idx *Index) Gamma(i int) []graph.VertexID { return idx.fwd[i].Visited() }
+
+// GammaR returns Γr(q): the sorted vertices reaching q.T within q.K hops
+// (i.e. reachable from q.T on Gr). The slice must not be modified.
+func (idx *Index) GammaR(i int) []graph.VertexID { return idx.bwd[i].Visited() }
+
+// Reachable reports whether query i's target is within its hop budget of
+// its source at all; unreachable queries have empty result sets and can
+// be skipped by every engine.
+func (idx *Index) Reachable(i int, q query.Query) bool {
+	return idx.fwd[i].Dist(q.T) <= q.K
+}
+
+// LevelSizes returns, for the i-th query's forward (dir=Forward) or
+// backward (dir=Backward) map, the number of vertices at each distance
+// 0..cap. Engines use these to estimate search frontier growth when
+// choosing an optimised cut point.
+func (idx *Index) LevelSizes(i int, dir Direction) []int {
+	dm := idx.fwd[i]
+	if dir == Backward {
+		dm = idx.bwd[i]
+	}
+	sizes := make([]int, int(dm.Cap)+1)
+	for _, v := range dm.Visited() {
+		sizes[dm.Dist(v)]++
+	}
+	return sizes
+}
+
+// Direction selects the forward (on G) or backward (on Gr) half of the
+// index.
+type Direction int
+
+// Direction values.
+const (
+	Forward Direction = iota
+	Backward
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Forward {
+		return "forward"
+	}
+	return "backward"
+}
+
+// DistMapFor exposes the raw per-query DistMap, used by the sharing
+// detector which walks frontiers itself.
+func (idx *Index) DistMapFor(i int, dir Direction) *msbfs.DistMap {
+	if dir == Forward {
+		return idx.fwd[i]
+	}
+	return idx.bwd[i]
+}

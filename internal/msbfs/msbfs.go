@@ -1,0 +1,222 @@
+// Package msbfs implements hop-bounded breadth-first searches, including
+// the bit-parallel multi-source BFS of Then et al. (VLDB'15) that the
+// paper uses for index construction ("we implement their index
+// construction following the state-of-the-art multi-source BFSs [36]").
+//
+// Sources are processed in chunks of 64 so that one machine word carries
+// the frontier membership of a whole chunk; a single pass over the
+// adjacency lists advances 64 BFSs at once. Each source carries its own
+// depth cap (the hop constraint k of its query), enforced with per-level
+// bit masks.
+package msbfs
+
+import (
+	"math/bits"
+	"slices"
+
+	"repro/internal/graph"
+)
+
+// Unreachable is the distance reported for vertices outside a source's
+// hop-bounded reach.
+const Unreachable = ^uint8(0)
+
+// DistMap holds the hop-bounded BFS result for one source: the distance
+// to every vertex within Cap hops, and the visited vertex set (the
+// hop-constrained neighbours Γ of Def. 4.4).
+//
+// Distances live in a dense per-source array: Dist sits on the hot path
+// of every enumeration prune check (Lemma 3.1 fires once per candidate
+// expansion), where a hash-map lookup would dominate the whole engine.
+// The n-byte array per source is the price; at the batch sizes of the
+// paper's workloads (hundreds of sources) it stays in the tens of MB.
+type DistMap struct {
+	Source graph.VertexID
+	Cap    uint8
+
+	dist    []uint8          // len n; Unreachable where unvisited
+	visited []graph.VertexID // sorted ascending
+}
+
+// Dist returns the shortest-path distance from the source to v, or
+// Unreachable if v is farther than Cap hops (or disconnected).
+func (d *DistMap) Dist(v graph.VertexID) uint8 {
+	return d.dist[v]
+}
+
+// Contains reports whether v is within Cap hops of the source, i.e.
+// v ∈ Γ. It is the O(1) membership probe the similarity estimator uses.
+func (d *DistMap) Contains(v graph.VertexID) bool {
+	return d.dist[v] != Unreachable
+}
+
+// Visited returns the sorted set of vertices within Cap hops of the
+// source (including the source itself). The slice aliases internal
+// storage and must not be modified.
+func (d *DistMap) Visited() []graph.VertexID { return d.visited }
+
+// NumVisited returns |Γ|.
+func (d *DistMap) NumVisited() int { return len(d.visited) }
+
+// MultiSource runs hop-bounded BFSs from every source concurrently using
+// 64-way bit parallelism. caps[i] is the depth bound for sources[i];
+// len(caps) must equal len(sources). Results are positionally aligned
+// with sources. Duplicate sources are allowed (each gets its own result).
+func MultiSource(g *graph.Graph, sources []graph.VertexID, caps []uint8) []*DistMap {
+	if len(sources) != len(caps) {
+		panic("msbfs: len(sources) != len(caps)")
+	}
+	results := make([]*DistMap, len(sources))
+	for lo := 0; lo < len(sources); lo += 64 {
+		hi := lo + 64
+		if hi > len(sources) {
+			hi = len(sources)
+		}
+		chunkRun(g, sources[lo:hi], caps[lo:hi], results[lo:hi])
+	}
+	return results
+}
+
+// chunkRun advances up to 64 bounded BFSs simultaneously.
+func chunkRun(g *graph.Graph, sources []graph.VertexID, caps []uint8, out []*DistMap) {
+	n := g.NumVertices()
+	k := len(sources)
+	maxCap := uint8(0)
+	// One flat allocation for all k distance arrays of the chunk.
+	flat := make([]uint8, k*n)
+	for i := range flat {
+		flat[i] = Unreachable
+	}
+	for i := 0; i < k; i++ {
+		out[i] = &DistMap{
+			Source: sources[i],
+			Cap:    caps[i],
+			dist:   flat[i*n : (i+1)*n],
+		}
+		if caps[i] > maxCap {
+			maxCap = caps[i]
+		}
+	}
+	seen := make([]uint64, n)
+	frontier := make([]uint64, n)
+	next := make([]uint64, n)
+	var frontierVerts, nextVerts []graph.VertexID
+
+	record := func(v graph.VertexID, bits uint64, depth uint8) {
+		for bits != 0 {
+			slot := trailingZeros(bits)
+			bits &= bits - 1
+			out[slot].dist[v] = depth
+			out[slot].visited = append(out[slot].visited, v)
+		}
+	}
+
+	// Level 0: each source visits itself. Identical sources share a
+	// vertex word, which is fine — their bits simply travel together.
+	for i, s := range sources {
+		bit := uint64(1) << uint(i)
+		if seen[s]&bit == 0 {
+			seen[s] |= bit
+			frontier[s] |= bit
+		}
+		out[i].dist[s] = 0
+		out[i].visited = append(out[i].visited, s)
+	}
+	for _, s := range sources {
+		if frontier[s] != 0 {
+			frontierVerts = append(frontierVerts, s)
+		}
+	}
+	frontierVerts = dedupVerts(frontierVerts)
+
+	for depth := uint8(1); depth <= maxCap && len(frontierVerts) > 0; depth++ {
+		// Only sources whose cap allows another hop keep propagating.
+		var active uint64
+		for i := 0; i < k; i++ {
+			if caps[i] >= depth {
+				active |= uint64(1) << uint(i)
+			}
+		}
+		for _, v := range frontierVerts {
+			fb := frontier[v] & active
+			frontier[v] = 0
+			if fb == 0 {
+				continue
+			}
+			for _, w := range g.OutNeighbors(v) {
+				fresh := fb &^ seen[w]
+				if fresh == 0 {
+					continue
+				}
+				if next[w] == 0 {
+					nextVerts = append(nextVerts, w)
+				}
+				next[w] |= fresh
+				seen[w] |= fresh
+			}
+		}
+		for _, w := range nextVerts {
+			record(w, next[w], depth)
+		}
+		frontier, next = next, frontier
+		frontierVerts = frontierVerts[:0]
+		frontierVerts, nextVerts = nextVerts, frontierVerts
+	}
+	for i := range out {
+		sortVerts(out[i].visited)
+	}
+}
+
+// Single runs one hop-bounded BFS; it is MultiSource with a single
+// source but avoids the chunk bookkeeping in tests and tools.
+func Single(g *graph.Graph, source graph.VertexID, cap uint8) *DistMap {
+	return MultiSource(g, []graph.VertexID{source}, []uint8{cap})[0]
+}
+
+// FullDistances computes exact unbounded shortest distances from source
+// to every vertex with a plain queue BFS; unreachable entries are
+// Unreachable. Used as a test oracle and by the KSP baselines. Distances
+// beyond 254 saturate.
+func FullDistances(g *graph.Graph, source graph.VertexID) []uint8 {
+	n := g.NumVertices()
+	dist := make([]uint8, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	dist[source] = 0
+	queue := []graph.VertexID{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		dv := dist[v]
+		nd := dv + 1
+		if nd == Unreachable {
+			nd = Unreachable - 1 // saturate
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if dist[w] == Unreachable {
+				dist[w] = nd
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func dedupVerts(vs []graph.VertexID) []graph.VertexID {
+	sortVerts(vs)
+	outIdx := 0
+	for i, v := range vs {
+		if i == 0 || v != vs[outIdx-1] {
+			vs[outIdx] = v
+			outIdx++
+		}
+	}
+	return vs[:outIdx]
+}
+
+func sortVerts(vs []graph.VertexID) {
+	slices.Sort(vs)
+}
+
+func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,0 +1,52 @@
+package msbfs
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// benchGraph is a mid-size community graph shared by the benchmarks.
+var benchGraph = graph.GenCommunityPowerLaw(20000, 200, 6, 0.97, 3)
+
+// benchSources picks 128 spread-out sources with cap 6.
+func benchSources() ([]graph.VertexID, []uint8) {
+	n := benchGraph.NumVertices()
+	sources := make([]graph.VertexID, 128)
+	caps := make([]uint8, 128)
+	for i := range sources {
+		sources[i] = graph.VertexID(i * (n / 128))
+		caps[i] = 6
+	}
+	return sources, caps
+}
+
+// BenchmarkMultiSource measures the bit-parallel 64-way BFS, the index
+// construction path of every engine (Then et al. [36]).
+func BenchmarkMultiSource(b *testing.B) {
+	sources, caps := benchSources()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MultiSource(benchGraph, sources, caps)
+	}
+}
+
+// BenchmarkRepeatedSingle is the ablation: the same work as
+// BenchmarkMultiSource but one BFS per source, quantifying the gain of
+// sharing adjacency scans across 64 concurrent searches.
+func BenchmarkRepeatedSingle(b *testing.B) {
+	sources, caps := benchSources()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, s := range sources {
+			Single(benchGraph, s, caps[j])
+		}
+	}
+}
+
+// BenchmarkFullDistances measures the unbounded oracle BFS.
+func BenchmarkFullDistances(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		FullDistances(benchGraph, 0)
+	}
+}

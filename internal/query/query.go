@@ -1,0 +1,118 @@
+// Package query defines the HC-s-t path query type shared by every
+// engine in the repository, plus result sinks that decouple enumeration
+// from result handling (collection, counting, streaming).
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Query is a hop-constrained s-t simple path enumeration query q(s,t,k):
+// report every simple path from S to T with at most K hops.
+type Query struct {
+	ID int // position within the batch; engines report results by ID
+	S  graph.VertexID
+	T  graph.VertexID
+	K  uint8
+}
+
+// FwdBudget is the forward-half hop budget ⌈k/2⌉ used by the
+// bidirectional strategy (§III of the paper). Written as k/2 + k%2 so
+// the uint8 arithmetic cannot overflow at k = 255.
+func (q Query) FwdBudget() uint8 { return q.K/2 + q.K%2 }
+
+// BwdBudget is the backward-half hop budget ⌊k/2⌋.
+func (q Query) BwdBudget() uint8 { return q.K / 2 }
+
+// String renders the query as in the paper, e.g. "q3(v4, v14, 4)".
+func (q Query) String() string {
+	return fmt.Sprintf("q%d(v%d, v%d, %d)", q.ID, q.S, q.T, q.K)
+}
+
+// Validate reports whether the query is well-formed for graph g.
+func (q Query) Validate(g *graph.Graph) error {
+	n := graph.VertexID(g.NumVertices())
+	if q.S >= n {
+		return fmt.Errorf("query %s: source out of range (n=%d)", q, n)
+	}
+	if q.T >= n {
+		return fmt.Errorf("query %s: target out of range (n=%d)", q, n)
+	}
+	if q.S == q.T {
+		return fmt.Errorf("query %s: source equals target", q)
+	}
+	if q.K == 0 {
+		return fmt.Errorf("query %s: hop constraint must be positive", q)
+	}
+	return nil
+}
+
+// Batch assigns sequential IDs to a set of queries, as the engines
+// require, and validates each against g.
+func Batch(g *graph.Graph, qs []Query) ([]Query, error) {
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		q.ID = i
+		if err := q.Validate(g); err != nil {
+			return nil, err
+		}
+		out[i] = q
+	}
+	return out, nil
+}
+
+// Sink receives enumerated HC-s-t paths. Emit is called once per result
+// path with the query's batch ID and the full vertex sequence from S to
+// T; the slice is only valid during the call and must be copied to be
+// retained.
+type Sink interface {
+	Emit(queryID int, path []graph.VertexID)
+}
+
+// CountSink counts results per query without retaining paths — the mode
+// used by the benchmark harness, since path counts grow exponentially
+// with k (Exp-7).
+type CountSink struct {
+	Counts []int64
+}
+
+// NewCountSink returns a CountSink for a batch of n queries.
+func NewCountSink(n int) *CountSink { return &CountSink{Counts: make([]int64, n)} }
+
+// Emit implements Sink.
+func (c *CountSink) Emit(queryID int, _ []graph.VertexID) { c.Counts[queryID]++ }
+
+// Total returns the sum of all per-query counts.
+func (c *CountSink) Total() int64 {
+	var t int64
+	for _, v := range c.Counts {
+		t += v
+	}
+	return t
+}
+
+// CollectSink materialises every result path, grouped by query. Intended
+// for tests and small workloads.
+type CollectSink struct {
+	Paths [][][]graph.VertexID
+}
+
+// NewCollectSink returns a CollectSink for a batch of n queries.
+func NewCollectSink(n int) *CollectSink {
+	return &CollectSink{Paths: make([][][]graph.VertexID, n)}
+}
+
+// Emit implements Sink; it copies the path.
+func (c *CollectSink) Emit(queryID int, path []graph.VertexID) {
+	cp := make([]graph.VertexID, len(path))
+	copy(cp, path)
+	c.Paths[queryID] = append(c.Paths[queryID], cp)
+}
+
+// FuncSink adapts a function to the Sink interface.
+type FuncSink func(queryID int, path []graph.VertexID)
+
+// Emit implements Sink.
+func (f FuncSink) Emit(queryID int, path []graph.VertexID) { f(queryID, path) }

@@ -1,0 +1,96 @@
+// Package testgraphs provides the shared fixture graphs used by tests
+// across the repository, chiefly the 16-vertex example graph of Fig. 1 of
+// the paper, whose HC-s-t paths are enumerated explicitly in the text and
+// therefore make precise ground truth.
+package testgraphs
+
+import "repro/internal/graph"
+
+// Paper returns the running-example graph G of Fig. 1, reconstructed from
+// every constraint the paper states about it:
+//
+//   - P(q0(v0,v11,5)) = {(v0,v1,v7,v10,v12,v11), (v0,v4,v9,v3,v6,v11),
+//     (v0,v4,v9,v15,v6,v11)} and the symmetric three paths for
+//     q1(v2,v13,5) (Fig. 3(b));
+//   - Example 3.1: extending prefix (v4,v9,v3) to v15 is pruned
+//     (so edge v3→v15 exists), and dist(v8,v14)=∞ (v8 is a dead end);
+//   - Fig. 2(b) backward index for v14 is exactly {v6:1, v3:2, v15:2,
+//     v9:3, v4:4};
+//   - Example 4.1: Γ(q3) has 9 vertices, Γ(q4) has 8, µ(q3,q4)=1 and
+//     µ(q0,q1)=0.93;
+//   - Fig. 5(a): P(q_{v1,2,G}) = {(v1,v7,v10), (v1,v7,v8), (v1,v8)}.
+//
+// Resulting ground truth used by tests:
+//
+//	q0(v0,v11,5): 3 paths   q1(v2,v13,5): 3 paths
+//	q2(v5,v12,5): 1 path (v5,v1,v7,v10,v12)
+//	q3(v4,v14,4): 2 paths   q4(v9,v14,3): 2 paths
+func Paper() *graph.Graph {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 4},
+		{Src: 2, Dst: 1}, {Src: 2, Dst: 4},
+		{Src: 5, Dst: 1},
+		{Src: 1, Dst: 7}, {Src: 1, Dst: 8},
+		{Src: 4, Dst: 9},
+		{Src: 9, Dst: 3}, {Src: 9, Dst: 15}, {Src: 9, Dst: 8},
+		{Src: 3, Dst: 15},
+		{Src: 7, Dst: 10}, {Src: 7, Dst: 8},
+		{Src: 3, Dst: 6}, {Src: 15, Dst: 6},
+		{Src: 10, Dst: 12},
+		{Src: 12, Dst: 11}, {Src: 12, Dst: 13},
+		{Src: 6, Dst: 11}, {Src: 6, Dst: 13}, {Src: 6, Dst: 14},
+	}
+	return graph.FromEdges(16, edges)
+}
+
+// PaperQueries returns the batch Q of Fig. 1 as (s, t, k) triples.
+func PaperQueries() [][3]uint32 {
+	return [][3]uint32{
+		{0, 11, 5}, // q0
+		{2, 13, 5}, // q1
+		{5, 12, 5}, // q2
+		{4, 14, 4}, // q3
+		{9, 14, 3}, // q4
+	}
+}
+
+// Diamond returns a tiny 4-vertex diamond s→a→t, s→b→t plus direct s→t,
+// convenient for join tests (paths of length 1 and 2).
+func Diamond() *graph.Graph {
+	return graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3},
+		{Src: 1, Dst: 3}, {Src: 2, Dst: 3},
+	})
+}
+
+// Cycle returns a directed n-cycle 0→1→…→n-1→0.
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Line returns a directed path 0→1→…→n-1.
+func Line(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1))
+	}
+	return b.Build()
+}
+
+// CompleteDAG returns the complete DAG on n vertices (edge i→j for i<j),
+// whose s-t path counts are known in closed form: the number of simple
+// paths from 0 to n-1 using any number of hops is 2^(n-2), and the number
+// with at most k hops is sum_{h=1..k} C(n-2, h-1).
+func CompleteDAG(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+	}
+	return b.Build()
+}

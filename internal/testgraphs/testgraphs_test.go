@@ -1,0 +1,89 @@
+package testgraphs
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestPaperGroundTruth re-derives every constraint the paper states
+// about Fig. 1 that the fixture encodes (see the Paper doc comment).
+func TestPaperGroundTruth(t *testing.T) {
+	g := Paper()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 16 {
+		t.Fatalf("|V| = %d, want 16", g.NumVertices())
+	}
+	// Example 3.1: v3→v15 exists, v8 is a dead end.
+	if !g.HasEdge(3, 15) {
+		t.Error("missing edge v3→v15 (Example 3.1)")
+	}
+	if g.OutDegree(8) != 0 {
+		t.Errorf("v8 must be a dead end, out-degree %d", g.OutDegree(8))
+	}
+	// Fig. 2(b): backward index entries for v14.
+	gr := g.Reverse()
+	wantDist := map[graph.VertexID]int{6: 1, 3: 2, 15: 2, 9: 3, 4: 4}
+	dist := bfs(gr, 14)
+	for v, want := range wantDist {
+		if dist[v] != want {
+			t.Errorf("dist(v%d, v14) = %d, want %d", v, dist[v], want)
+		}
+	}
+	if dist[8] >= 0 {
+		t.Errorf("dist(v8, v14) must be ∞, got %d", dist[8])
+	}
+}
+
+// bfs returns hop distances from src (-1 = unreachable).
+func bfs(g *graph.Graph, src graph.VertexID) []int {
+	dist := make([]int, g.NumVertices())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []graph.VertexID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.OutNeighbors(v) {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+func TestPaperQueries(t *testing.T) {
+	qs := PaperQueries()
+	if len(qs) != 5 {
+		t.Fatalf("%d queries, want 5", len(qs))
+	}
+	if qs[0] != [3]uint32{0, 11, 5} || qs[4] != [3]uint32{9, 14, 3} {
+		t.Errorf("query table corrupted: %v", qs)
+	}
+}
+
+func TestFixtureShapes(t *testing.T) {
+	if d := Diamond(); d.NumVertices() != 4 || d.NumEdges() != 5 {
+		t.Errorf("Diamond: |V|=%d |E|=%d", d.NumVertices(), d.NumEdges())
+	}
+	if c := Cycle(5); c.NumEdges() != 5 || !c.HasEdge(4, 0) {
+		t.Error("Cycle(5) malformed")
+	}
+	if l := Line(4); l.NumEdges() != 3 || l.OutDegree(3) != 0 {
+		t.Error("Line(4) malformed")
+	}
+	if d := CompleteDAG(5); d.NumEdges() != 10 {
+		t.Errorf("CompleteDAG(5): |E|=%d, want 10", d.NumEdges())
+	}
+	for _, g := range []*graph.Graph{Diamond(), Cycle(5), Line(4), CompleteDAG(5)} {
+		if err := g.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}

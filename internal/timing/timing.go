@@ -1,0 +1,78 @@
+// Package timing provides the phase-decomposed stopwatch used by the
+// engines and the Exp-3 experiment (Fig. 9): every run is broken into
+// BuildIndex, ClusterQuery, IdentifySubquery and Enumeration time.
+package timing
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies one sub-step of batch query processing.
+type Phase int
+
+// The four phases of Fig. 9.
+const (
+	BuildIndex Phase = iota
+	ClusterQuery
+	IdentifySubquery
+	Enumeration
+	numPhases
+)
+
+// PhaseNames lists the display names in phase order.
+var PhaseNames = [...]string{"BuildIndex", "ClusterQuery", "IdentifySubquery", "Enumeration"}
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	if p >= 0 && int(p) < len(PhaseNames) {
+		return PhaseNames[p]
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Breakdown accumulates wall-clock time per phase. The zero value is
+// ready to use.
+type Breakdown struct {
+	d [numPhases]time.Duration
+}
+
+// Start begins timing phase p and returns a function that stops it and
+// adds the elapsed time, suiting the `defer bd.Start(p)()` idiom.
+func (b *Breakdown) Start(p Phase) func() {
+	t0 := time.Now()
+	return func() { b.d[p] += time.Since(t0) }
+}
+
+// Add records an externally measured duration for phase p.
+func (b *Breakdown) Add(p Phase, d time.Duration) { b.d[p] += d }
+
+// Get returns the accumulated time of phase p.
+func (b *Breakdown) Get(p Phase) time.Duration { return b.d[p] }
+
+// Total returns the sum over all phases.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.d {
+		t += d
+	}
+	return t
+}
+
+// Merge adds another breakdown into b.
+func (b *Breakdown) Merge(o Breakdown) {
+	for i := range b.d {
+		b.d[i] += o.d[i]
+	}
+}
+
+// String renders the breakdown as "BuildIndex=1.2ms ... total=9.9ms".
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	for i := Phase(0); i < numPhases; i++ {
+		fmt.Fprintf(&sb, "%s=%v ", i, b.d[i])
+	}
+	fmt.Fprintf(&sb, "total=%v", b.Total())
+	return sb.String()
+}

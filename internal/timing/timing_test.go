@@ -1,0 +1,70 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStartStop(t *testing.T) {
+	var b Breakdown
+	stop := b.Start(BuildIndex)
+	time.Sleep(time.Millisecond)
+	stop()
+	if b.Get(BuildIndex) <= 0 {
+		t.Error("no time recorded")
+	}
+	if b.Get(Enumeration) != 0 {
+		t.Error("unrelated phase accumulated time")
+	}
+}
+
+func TestAddAndTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(BuildIndex, 2*time.Second)
+	b.Add(ClusterQuery, time.Second)
+	b.Add(BuildIndex, time.Second)
+	if b.Get(BuildIndex) != 3*time.Second {
+		t.Errorf("BuildIndex = %v", b.Get(BuildIndex))
+	}
+	if b.Total() != 4*time.Second {
+		t.Errorf("Total = %v", b.Total())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Add(Enumeration, time.Second)
+	b.Add(Enumeration, 2*time.Second)
+	b.Add(IdentifySubquery, time.Second)
+	a.Merge(b)
+	if a.Get(Enumeration) != 3*time.Second || a.Get(IdentifySubquery) != time.Second {
+		t.Errorf("merged = %v", a.String())
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		BuildIndex:       "BuildIndex",
+		ClusterQuery:     "ClusterQuery",
+		IdentifySubquery: "IdentifySubquery",
+		Enumeration:      "Enumeration",
+		Phase(99):        "Phase(99)",
+	}
+	for p, w := range want {
+		if p.String() != w {
+			t.Errorf("%d.String() = %s, want %s", int(p), p.String(), w)
+		}
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	var b Breakdown
+	b.Add(BuildIndex, time.Millisecond)
+	s := b.String()
+	for _, want := range []string{"BuildIndex=1ms", "total=1ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
