@@ -11,7 +11,10 @@
 package hcpath
 
 import (
+	"context"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/batchenum"
 	"repro/internal/datasets"
@@ -175,6 +178,106 @@ func engineFixture(b *testing.B) (*Graph, []query.Query) {
 		fixture = &benchFixture{g: wrap(raw), qs: qs}
 	}
 	return fixture.g, fixture.qs
+}
+
+// serviceFixture caches a larger similarity-heavy workload, in public
+// Query form, for the serving benchmarks.
+type serviceFixtureT struct {
+	g  *Graph
+	qs []Query
+}
+
+var svcFixture *serviceFixtureT
+
+func serviceWorkload(b *testing.B) (*Graph, []Query) {
+	b.Helper()
+	if svcFixture == nil {
+		spec, err := datasets.ByCode("EP")
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw := spec.Build(0.25)
+		iqs, _, err := workload.WithSimilarity(raw, raw.Reverse(), workload.SimilarityConfig{
+			Config:   workload.Config{N: 200, KMin: 3, KMax: 5, Seed: 1},
+			TargetMu: 0.8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs := make([]Query, len(iqs))
+		for i, q := range iqs {
+			qs[i] = Query{S: q.S, T: q.T, K: int(q.K)}
+		}
+		svcFixture = &serviceFixtureT{g: wrap(raw), qs: qs}
+	}
+	return svcFixture.g, svcFixture.qs
+}
+
+// BenchmarkServiceThroughput is the serving ablation the paper's
+// motivation implies: the same concurrent clients answered one query at
+// a time (each paying its own index build and sharing nothing) versus
+// through the micro-batching Service (concurrent queries coalesced and
+// answered by BatchEnum+ with shared sub-queries). Both sides run in
+// count mode; queries/s is the headline metric, and the service side
+// also reports its mean coalescing and sharing ratio.
+func BenchmarkServiceThroughput(b *testing.B) {
+	g, qs := serviceWorkload(b)
+	const clients = 16
+
+	b.Run("OneAtATime", func(b *testing.B) {
+		eng := NewEngine(g, nil) // BatchEnum+ degenerates to one group of one
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := c; j < len(qs); j += clients {
+						if _, _, err := eng.Count(qs[j : j+1]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+		}
+		b.ReportMetric(float64(b.N)*float64(len(qs))/b.Elapsed().Seconds(), "queries/s")
+	})
+
+	b.Run("Microbatched", func(b *testing.B) {
+		var queries, batches, groups int64
+		for i := 0; i < b.N; i++ {
+			// MaxBatch matched to the closed-loop concurrency so batches
+			// dispatch on the size trigger, not the wait window.
+			svc := NewService(g, &ServiceOptions{
+				MaxBatch: clients,
+				MaxWait:  time.Millisecond,
+			})
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := c; j < len(qs); j += clients {
+						if _, _, err := svc.Count(context.Background(), qs[j]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			tot := svc.Totals()
+			svc.Close()
+			queries += tot.Queries
+			batches += tot.Batches
+			groups += tot.Groups
+		}
+		b.ReportMetric(float64(b.N)*float64(len(qs))/b.Elapsed().Seconds(), "queries/s")
+		b.ReportMetric(float64(queries)/float64(batches), "queries/batch")
+		b.ReportMetric(1-float64(groups)/float64(queries), "sharing-ratio")
+	})
 }
 
 // BenchmarkEngines compares the four engines plus the no-sharing

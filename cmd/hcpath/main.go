@@ -5,6 +5,14 @@
 //	hcpath -graph g.bin -queries q.txt -count     # counts only
 //	hcpath -graph g.txt -query 0,11,5             # one ad-hoc query
 //
+// Replay mode drives the micro-batching query service instead of one
+// offline batch: the query file is replayed from -clients concurrent
+// goroutines, the service coalesces whatever arrives inside the
+// -maxbatch/-maxwait window, and per-batch sharing statistics plus the
+// end-to-end throughput are reported:
+//
+//	hcpath -graph g.txt -queries q.txt -replay -clients 32
+//
 // The graph file is an edge list ("src dst" per line, '#' comments) or
 // the repository's binary format (.bin). The query file holds one
 // "s t k" triple per line. The engine defaults to BatchEnum+, the
@@ -13,11 +21,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	hcpath "repro"
@@ -32,6 +43,12 @@ func main() {
 		gamma     = flag.Float64("gamma", 0.5, "clustering threshold γ")
 		countOnly = flag.Bool("count", false, "print per-query counts instead of paths")
 		maxHops   = flag.Int("maxhops", 15, "maximum accepted hop constraint")
+
+		replay   = flag.Bool("replay", false, "replay queries through the micro-batching service")
+		clients  = flag.Int("clients", 16, "replay: concurrent client goroutines")
+		maxBatch = flag.Int("maxbatch", 64, "replay: max queries coalesced per batch")
+		maxWait  = flag.Duration("maxwait", 2*time.Millisecond, "replay: batch formation window")
+		verbose  = flag.Bool("v", false, "replay: print every batch's stats")
 	)
 	flag.Parse()
 
@@ -51,13 +68,23 @@ func main() {
 		fail("%v", err)
 	}
 
+	fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %d queries; %s\n",
+		g.NumVertices(), g.NumEdges(), len(qs), algo)
+
+	if *replay {
+		runReplay(g, qs, hcpath.Options{
+			Algorithm: algo,
+			Gamma:     *gamma,
+			MaxHops:   *maxHops,
+		}, *clients, *maxBatch, *maxWait, *verbose)
+		return
+	}
+
 	eng := hcpath.NewEngine(g, &hcpath.Options{
 		Algorithm: algo,
 		Gamma:     *gamma,
 		MaxHops:   *maxHops,
 	})
-	fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %d queries; %s\n",
-		g.NumVertices(), g.NumEdges(), len(qs), algo)
 
 	t0 := time.Now()
 	if *countOnly {
@@ -81,6 +108,62 @@ func main() {
 	}
 	w.Flush()
 	report(st, time.Since(t0))
+}
+
+// runReplay pushes the query file through a Service from concurrent
+// client goroutines (client i replays queries i, i+clients, …) in count
+// mode, then reports batching and throughput statistics.
+func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients, maxBatch int, maxWait time.Duration, verbose bool) {
+	svc := hcpath.NewService(g, &hcpath.ServiceOptions{
+		Options:  opts,
+		MaxBatch: maxBatch,
+		MaxWait:  maxWait,
+		OnBatch: func(b hcpath.BatchStats) {
+			if verbose {
+				fmt.Fprintf(os.Stderr,
+					"batch: %d queries, %d groups, sharing %.2f, %d paths, wait %v, enumerate %v\n",
+					b.Queries, b.Groups, b.SharingRatio(), b.Paths,
+					time.Duration(b.WaitNanos).Round(time.Microsecond),
+					time.Duration(b.EnumerateNanos).Round(time.Microsecond))
+			}
+		},
+	})
+	if clients < 1 {
+		clients = 1
+	}
+	fmt.Fprintf(os.Stderr, "replay: %d clients, batches of ≤%d formed over ≤%v windows\n",
+		clients, maxBatch, maxWait)
+
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := c; i < len(qs); i += clients {
+				if _, _, err := svc.Count(context.Background(), qs[i]); err != nil {
+					fmt.Fprintf(os.Stderr, "hcpath: query %d: %v\n", i, err)
+					failed.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	svc.Close()
+
+	tot := svc.Totals()
+	fmt.Printf("replayed %d queries in %v (%.0f q/s), %d failed\n",
+		tot.Queries, elapsed.Round(time.Microsecond),
+		float64(tot.Queries)/elapsed.Seconds(), failed.Load())
+	fmt.Printf("%d batches (largest %d, mean %.1f queries/batch), %d paths\n",
+		tot.Batches, tot.LargestBatch,
+		float64(tot.Queries)/float64(max(tot.Batches, 1)), tot.Paths)
+	fmt.Printf("%d groups, %d shared sub-queries, %d spliced paths; mean wait %v, mean enumerate %v\n",
+		tot.Groups, tot.SharedQueries, tot.SplicedPaths,
+		(time.Duration(tot.WaitNanos) / time.Duration(max(tot.Batches, 1))).Round(time.Microsecond),
+		(time.Duration(tot.EnumerateNanos) / time.Duration(max(tot.Batches, 1))).Round(time.Microsecond))
 }
 
 func report(st hcpath.Stats, elapsed time.Duration) {

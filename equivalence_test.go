@@ -1,0 +1,137 @@
+package hcpath
+
+// Equivalence under concurrency: the micro-batching Service and the
+// parallel engine must return exactly the sequential engine's per-query
+// result sets, for every algorithm, on the whole testgraphs corpus.
+// Running `go test -race` over this file exercises the per-worker
+// buffered sinks, the batch collector, and the future hand-off under the
+// race detector.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/batchenum"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/testgraphs"
+)
+
+type corpusCase struct {
+	name string
+	g    *graph.Graph
+	qs   []query.Query
+}
+
+// equivalenceCorpus covers every fixture family of internal/testgraphs:
+// the paper's running example plus shapes with known path structure.
+func equivalenceCorpus() []corpusCase {
+	var paperQs []query.Query
+	for _, d := range testgraphs.PaperQueries() {
+		paperQs = append(paperQs, query.Query{S: d[0], T: d[1], K: uint8(d[2])})
+	}
+	return []corpusCase{
+		{"paper", testgraphs.Paper(), paperQs},
+		{"diamond", testgraphs.Diamond(), []query.Query{
+			{S: 0, T: 3, K: 1}, {S: 0, T: 3, K: 2}, {S: 0, T: 3, K: 3},
+		}},
+		{"cycle8", testgraphs.Cycle(8), []query.Query{
+			{S: 0, T: 5, K: 5}, {S: 0, T: 7, K: 7}, {S: 1, T: 4, K: 3},
+		}},
+		{"line10", testgraphs.Line(10), []query.Query{
+			{S: 0, T: 9, K: 9}, {S: 0, T: 5, K: 5}, {S: 2, T: 7, K: 5},
+		}},
+		{"completeDAG7", testgraphs.CompleteDAG(7), []query.Query{
+			{S: 0, T: 6, K: 3}, {S: 0, T: 6, K: 6}, {S: 1, T: 5, K: 4},
+		}},
+	}
+}
+
+// canonical sorts each query's collected paths into comparable strings.
+func canonical(paths [][][]graph.VertexID) [][]string {
+	out := make([][]string, len(paths))
+	for i, ps := range paths {
+		for _, p := range ps {
+			out[i] = append(out[i], fmt.Sprint(p))
+		}
+		sort.Strings(out[i])
+	}
+	return out
+}
+
+func diffQuery(t *testing.T, label string, i int, want, got []string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: query %d: %d paths, want %d", label, i, len(got), len(want))
+		return
+	}
+	for j := range want {
+		if want[j] != got[j] {
+			t.Errorf("%s: query %d: path sets diverge at %d: %s vs %s", label, i, j, got[j], want[j])
+			return
+		}
+	}
+}
+
+// TestServiceAndParallelMatchSequential is the concurrency equivalence
+// property: for all four algorithms on the whole corpus, RunParallel and
+// the Service (queries submitted from concurrent goroutines, batched by
+// the collector) reproduce sequential Run's per-query path sets exactly.
+func TestServiceAndParallelMatchSequential(t *testing.T) {
+	algorithms := []Algorithm{BatchEnumPlus, BatchEnum, BasicEnumPlus, BasicEnum}
+	for _, c := range equivalenceCorpus() {
+		gr := c.g.Reverse()
+		for _, alg := range algorithms {
+			label := fmt.Sprintf("%s/%v", c.name, alg)
+			opts := batchenum.Options{Algorithm: alg.internal(), Gamma: 0.8}
+
+			seq := query.NewCollectSink(len(c.qs))
+			if _, err := batchenum.Run(c.g, gr, c.qs, opts, seq); err != nil {
+				t.Fatalf("%s: sequential: %v", label, err)
+			}
+			want := canonical(seq.Paths)
+
+			par := query.NewCollectSink(len(c.qs))
+			if _, err := batchenum.RunParallel(c.g, gr, c.qs,
+				batchenum.ParallelOptions{Options: opts, Workers: 4}, par); err != nil {
+				t.Fatalf("%s: parallel: %v", label, err)
+			}
+			for i, g := range canonical(par.Paths) {
+				diffQuery(t, label+"/parallel", i, want[i], g)
+			}
+
+			svc := NewService(&Graph{g: c.g, gr: gr}, &ServiceOptions{
+				Options:  Options{Algorithm: alg, Gamma: 0.8, Workers: -1},
+				MaxBatch: len(c.qs),
+				MaxWait:  5 * time.Millisecond,
+			})
+			got := make([][]string, len(c.qs))
+			var wg sync.WaitGroup
+			for i, q := range c.qs {
+				wg.Add(1)
+				go func(i int, q query.Query) {
+					defer wg.Done()
+					paths, _, err := svc.Query(context.Background(),
+						Query{S: q.S, T: q.T, K: int(q.K)})
+					if err != nil {
+						t.Errorf("%s: service query %d: %v", label, i, err)
+						return
+					}
+					for _, p := range paths {
+						got[i] = append(got[i], fmt.Sprint([]graph.VertexID(p)))
+					}
+					sort.Strings(got[i])
+				}(i, q)
+			}
+			wg.Wait()
+			svc.Close()
+			for i := range got {
+				diffQuery(t, label+"/service", i, want[i], got[i])
+			}
+		}
+	}
+}

@@ -22,11 +22,14 @@
 package hcpath
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/batchenum"
 	"repro/internal/graph"
 	"repro/internal/query"
+	"repro/internal/service"
 	"repro/internal/sharegraph"
 	"repro/internal/timing"
 )
@@ -151,19 +154,31 @@ type Options struct {
 	// batch engines to their per-query baselines (for ablation).
 	DisableSharing bool
 	// MaxHops caps K per query; zero means the internal limit of 15.
-	// Enumeration cost and result counts grow exponentially with K.
+	// Values above 255 are clamped to 255, the largest representable hop
+	// constraint. Enumeration cost and result counts grow exponentially
+	// with K.
 	MaxHops int
 	// Workers enables parallel execution: the independent engines
 	// parallelise over queries, the batch engines over sharing groups.
-	// Zero runs sequentially; negative uses GOMAXPROCS workers. With
-	// parallel execution the emission order across queries is
-	// unspecified (per-query results are unaffected).
+	// Zero runs the sequential engine; negative uses GOMAXPROCS workers;
+	// positive uses exactly that many. (The internal
+	// batchenum.ParallelOptions layer treats any non-positive count as
+	// GOMAXPROCS — this layer never passes it zero.) With parallel
+	// execution the emission order across queries is unspecified
+	// (per-query results are unaffected).
 	Workers int
 }
+
+// maxHopsLimit is the largest accepted hop constraint: queries carry K
+// as uint8 internally, so anything larger would silently truncate.
+const maxHopsLimit = 255
 
 func (o *Options) maxHops() int {
 	if o == nil || o.MaxHops <= 0 {
 		return 15
+	}
+	if o.MaxHops > maxHopsLimit {
+		return maxHopsLimit
 	}
 	return o.MaxHops
 }
@@ -224,13 +239,29 @@ type Stats struct {
 	SplicedPaths int64
 }
 
+// convertQuery checks the hop constraint against the engine's cap before
+// the narrowing cast to the internal uint8 representation; maxHops is
+// already clamped to maxHopsLimit, so the cast cannot truncate. A
+// negative i omits the batch position from the error (single-query
+// submissions have none).
+func convertQuery(q Query, i, maxHops int) (query.Query, error) {
+	if q.K < 1 || q.K > maxHops {
+		if i < 0 {
+			return query.Query{}, fmt.Errorf("hcpath: hop constraint %d outside [1, %d]", q.K, maxHops)
+		}
+		return query.Query{}, fmt.Errorf("hcpath: query %d: hop constraint %d outside [1, %d]", i, q.K, maxHops)
+	}
+	return query.Query{S: q.S, T: q.T, K: uint8(q.K)}, nil
+}
+
 func (e *Engine) convert(qs []Query) ([]query.Query, error) {
 	out := make([]query.Query, len(qs))
 	for i, q := range qs {
-		if q.K < 1 || q.K > e.opts.maxHops() {
-			return nil, fmt.Errorf("hcpath: query %d: hop constraint %d outside [1, %d]", i, q.K, e.opts.maxHops())
+		iq, err := convertQuery(q, i, e.opts.maxHops())
+		if err != nil {
+			return nil, err
 		}
-		out[i] = query.Query{S: q.S, T: q.T, K: uint8(q.K)}
+		out[i] = iq
 	}
 	return out, nil
 }
@@ -320,3 +351,112 @@ func (e *Engine) Count(qs []Query) ([]int64, Stats, error) {
 	}
 	return sink.Counts, statsOf(st), nil
 }
+
+// BatchStats describes one micro-batch a Service dispatched: queries
+// coalesced, sharing found, and wait vs. enumerate time. Its
+// SharingRatio method summarises how much of the batch was coalesced.
+type BatchStats = service.BatchStats
+
+// ServiceTotals aggregates a Service's lifetime counters.
+type ServiceTotals = service.Totals
+
+// ErrServiceClosed is returned by Service queries after Close.
+var ErrServiceClosed = service.ErrClosed
+
+// ServiceOptions tunes a Service. The zero value batches up to 64
+// queries per 2ms window and answers them with BatchEnum+ parallelised
+// over sharing groups with GOMAXPROCS workers.
+type ServiceOptions struct {
+	// Options configures the engine each micro-batch runs through,
+	// exactly as for NewEngine — except Workers: a service always runs
+	// the parallel engine (it exists to exploit concurrency), so here
+	// zero or negative means GOMAXPROCS workers per batch and a positive
+	// count is taken literally, one worker reproducing the sequential
+	// engine's behaviour.
+	Options
+	// MaxBatch caps the queries coalesced into one micro-batch; zero
+	// means 64.
+	MaxBatch int
+	// MaxWait bounds how long the first query of a forming batch waits
+	// for company; zero means 2ms. Larger windows coalesce more
+	// concurrent queries (more sharing) at higher per-query latency.
+	MaxWait time.Duration
+	// OnBatch, when non-nil, observes every completed batch's stats;
+	// calls are serialised.
+	OnBatch func(BatchStats)
+}
+
+// Service is a long-lived concurrent query server over one graph: many
+// goroutines submit single queries, the service micro-batches whatever
+// arrives within a size/time window, answers each batch with the batch
+// engines so concurrent queries share their common sub-queries, and
+// resolves every caller with exactly its own results. All methods are
+// safe for concurrent use; Close releases the collector.
+type Service struct {
+	svc     *service.Service
+	maxHops int
+}
+
+// NewService starts a micro-batching query service on g. nil opts
+// selects the defaults: BatchEnum+ (γ = 0.5) parallel across sharing
+// groups, batches of ≤ 64 queries formed over ≤ 2ms windows.
+func NewService(g *Graph, opts *ServiceOptions) *Service {
+	var o ServiceOptions
+	if opts != nil {
+		o = *opts
+	}
+	return &Service{
+		svc: service.New(g.g, g.gr, service.Config{
+			MaxBatch: o.MaxBatch,
+			MaxWait:  o.MaxWait,
+			Engine: batchenum.Options{
+				Algorithm: o.Algorithm.internal(),
+				Gamma:     o.Gamma,
+				Detect:    sharegraph.Options{DisableSharing: o.DisableSharing},
+			},
+			Workers: o.Workers,
+			OnBatch: o.OnBatch,
+		}),
+		maxHops: o.maxHops(),
+	}
+}
+
+// Query submits one query, blocks until its micro-batch completes (or
+// ctx is cancelled), and returns the query's paths plus the stats of the
+// batch that carried it.
+func (s *Service) Query(ctx context.Context, q Query) ([]Path, BatchStats, error) {
+	iq, err := convertQuery(q, -1, s.maxHops)
+	if err != nil {
+		return nil, BatchStats{}, err
+	}
+	r, err := s.svc.Submit(ctx, iq, true)
+	if err != nil {
+		return nil, BatchStats{}, err
+	}
+	paths := make([]Path, len(r.Paths))
+	for i, p := range r.Paths {
+		paths[i] = Path(p)
+	}
+	return paths, r.Batch, nil
+}
+
+// Count is Query without materialising paths — the cheap mode, since
+// result counts grow exponentially with K.
+func (s *Service) Count(ctx context.Context, q Query) (int64, BatchStats, error) {
+	iq, err := convertQuery(q, -1, s.maxHops)
+	if err != nil {
+		return 0, BatchStats{}, err
+	}
+	r, err := s.svc.Submit(ctx, iq, false)
+	if err != nil {
+		return 0, BatchStats{}, err
+	}
+	return r.Count, r.Batch, nil
+}
+
+// Totals returns a snapshot of the service's lifetime counters.
+func (s *Service) Totals() ServiceTotals { return s.svc.Stats() }
+
+// Close drains in-flight batches and stops the service; queries after
+// Close return ErrServiceClosed. Close is idempotent.
+func (s *Service) Close() { s.svc.Close() }

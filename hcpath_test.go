@@ -186,6 +186,48 @@ func TestMaxHopsOption(t *testing.T) {
 	}
 }
 
+// TestMaxHopsClamp: MaxHops above 255 must clamp, not let convert's
+// uint8 cast silently truncate the hop constraint (K=260 used to become
+// K=4 with MaxHops=300, returning wrong answers instead of an error).
+func TestMaxHopsClamp(t *testing.T) {
+	g, err := NewGraph(6, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(g, &Options{MaxHops: 300})
+	if _, err := eng.Enumerate([]Query{{S: 0, T: 4, K: 260}}); err == nil {
+		t.Fatal("K=260 accepted under MaxHops=300; uint8 truncation regression")
+	}
+	// The clamped cap itself must still work.
+	counts, _, err := eng.Count([]Query{{S: 0, T: 5, K: 255}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 1 {
+		t.Errorf("K=255 count %d, want 1", counts[0])
+	}
+}
+
+// TestWorkersBoundary pins the documented Workers semantics at the
+// public layer: 0 is the sequential engine, negative is GOMAXPROCS,
+// positive is the literal count — all with identical results.
+func TestWorkersBoundary(t *testing.T) {
+	g := paperGraph(t)
+	want := []int64{3, 3, 1, 2, 2}
+	for _, workers := range []int{-1, 0, 1} {
+		eng := NewEngine(g, &Options{Workers: workers})
+		counts, _, err := eng.Count(paperQueries)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, w := range want {
+			if counts[i] != w {
+				t.Errorf("workers=%d: query %d count %d, want %d", workers, i, counts[i], w)
+			}
+		}
+	}
+}
+
 // TestNewGraphErrors rejects a negative size.
 func TestNewGraphErrors(t *testing.T) {
 	if _, err := NewGraph(-1, nil); err == nil {

@@ -22,7 +22,10 @@ import (
 // ParallelOptions extends Options with a worker count.
 type ParallelOptions struct {
 	Options
-	// Workers is the number of goroutines; zero means GOMAXPROCS.
+	// Workers is the number of goroutines; zero or negative means
+	// GOMAXPROCS. (The public hcpath layer reserves zero for "run the
+	// sequential engine" and only calls RunParallel with a concrete or
+	// negative count.)
 	Workers int
 }
 
@@ -33,20 +36,30 @@ func (o ParallelOptions) workers() int {
 	return o.Workers
 }
 
-// lockedSink serialises emissions from concurrent workers. Enumeration
-// dominates emission by orders of magnitude for non-trivial workloads,
-// so one mutex is cheaper than per-worker buffering of exponentially
-// many paths.
-type lockedSink struct {
+// flushVertices is the per-worker buffering threshold: a worker hands
+// its buffered results downstream once the arena holds this many path
+// vertices, bounding memory at O(workers · flushVertices) while keeping
+// lock acquisitions orders of magnitude rarer than emissions.
+const flushVertices = 1 << 15
+
+// mergeSink serialises flushes — not emissions — from concurrent
+// workers. Each worker buffers results in its own query.BufferSink and
+// merges at job boundaries or when the buffer fills, so the hot
+// enumeration loop never contends on a mutex the way a naive
+// lock-per-Emit wrapper would.
+type mergeSink struct {
 	mu   sync.Mutex
 	sink query.Sink
 }
 
-// Emit implements query.Sink.
-func (l *lockedSink) Emit(id int, p []graph.VertexID) {
-	l.mu.Lock()
-	l.sink.Emit(id, p)
-	l.mu.Unlock()
+// drain replays buf into the shared sink under the merge lock.
+func (m *mergeSink) drain(buf *query.BufferSink) {
+	if buf.Len() == 0 {
+		return
+	}
+	m.mu.Lock()
+	buf.FlushTo(m.sink)
+	m.mu.Unlock()
 }
 
 // RunParallel enumerates the batch with opts.Workers goroutines. Result
@@ -61,22 +74,22 @@ func RunParallel(g, gr *graph.Graph, queries []query.Query, opts ParallelOptions
 	if len(qs) == 0 {
 		return st, nil
 	}
-	ls := &lockedSink{sink: sink}
+	ms := &mergeSink{sink: sink}
 
 	stop := st.Phases.Start(timing.BuildIndex)
 	idx := hcindex.Build(g, gr, qs)
 	stop()
 
 	if opts.Algorithm.Shared() {
-		parallelBatch(g, gr, qs, idx, opts, ls, st)
+		parallelBatch(g, gr, qs, idx, opts, ms, st)
 	} else {
-		parallelBasic(g, gr, qs, idx, opts, ls, st)
+		parallelBasic(g, gr, qs, idx, opts, ms, st)
 	}
 	return st, nil
 }
 
 // parallelBasic fans individual queries out to the worker pool.
-func parallelBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts ParallelOptions, sink query.Sink, st *Stats) {
+func parallelBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts ParallelOptions, ms *mergeSink, st *Stats) {
 	defer st.Phases.Start(timing.Enumeration)()
 	penum := pathenum.Options{Optimized: opts.Algorithm.Optimized()}
 	jobs := make(chan int)
@@ -85,13 +98,20 @@ func parallelBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			buf := &query.BufferSink{}
 			for i := range jobs {
 				q := qs[i]
 				id := q.ID
 				pathenum.Enumerate(g, gr, q,
 					idx.DistMapFor(i, hcindex.Forward), idx.DistMapFor(i, hcindex.Backward),
 					penum,
-					func(p []graph.VertexID) { sink.Emit(id, p) })
+					func(p []graph.VertexID) {
+						buf.Emit(id, p)
+						if buf.Vertices() >= flushVertices {
+							ms.drain(buf)
+						}
+					})
+				ms.drain(buf)
 			}
 		}()
 	}
@@ -105,7 +125,7 @@ func parallelBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 // parallelBatch fans clustered groups out to the worker pool; each group
 // runs the full detect–enumerate–join pipeline independently. Group
 // stats are accumulated under a lock.
-func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts ParallelOptions, sink query.Sink, st *Stats) {
+func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts ParallelOptions, ms *mergeSink, st *Stats) {
 	stop := st.Phases.Start(timing.ClusterQuery)
 	cl := cluster.ClusterQueries(idx, qs, opts.gamma())
 	stop()
@@ -119,9 +139,17 @@ func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			buf := &query.BufferSink{}
+			sink := query.FuncSink(func(id int, p []graph.VertexID) {
+				buf.Emit(id, p)
+				if buf.Vertices() >= flushVertices {
+					ms.drain(buf)
+				}
+			})
 			for group := range jobs {
 				local := &Stats{}
 				processGroup(g, gr, qs, idx, group, opts.Options, sink, local)
+				ms.drain(buf)
 				statsMu.Lock()
 				st.SharedNodes += local.SharedNodes
 				st.SharingEdges += local.SharingEdges

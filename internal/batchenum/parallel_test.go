@@ -3,6 +3,7 @@ package batchenum
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 
@@ -75,6 +76,37 @@ func TestParallelRandom(t *testing.T) {
 			diffSets(t, fmt.Sprintf("parallel trial %d %v", trial, alg), want, got, len(qs))
 		}
 	}
+}
+
+// TestWorkersSemantics pins the documented boundary behaviour: zero or
+// negative means GOMAXPROCS, positive counts are taken literally. (The
+// public hcpath layer reserves zero for the sequential engine and never
+// passes it down.)
+func TestWorkersSemantics(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := map[int]int{-1: maxprocs, 0: maxprocs, 1: 1, 3: 3}
+	for in, want := range cases {
+		if got := (ParallelOptions{Workers: in}).workers(); got != want {
+			t.Errorf("workers(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// TestParallelSingleWorker: one worker must behave exactly like the
+// sequential engine (the buffered-sink path with zero contention).
+func TestParallelSingleWorker(t *testing.T) {
+	g := testgraphs.Paper()
+	gr := g.Reverse()
+	var qs []query.Query
+	for _, d := range testgraphs.PaperQueries() {
+		qs = append(qs, query.Query{S: d[0], T: d[1], K: uint8(d[2])})
+	}
+	want := bruteSet(g, qs)
+	got := collectParallel(t, g, gr, qs, ParallelOptions{
+		Options: Options{Algorithm: BatchPlus},
+		Workers: 1,
+	})
+	diffSets(t, "single worker", want, got, len(qs))
 }
 
 // TestParallelEmptyAndInvalid mirror the sequential contract.

@@ -111,6 +111,51 @@ func (c *CollectSink) Emit(queryID int, path []graph.VertexID) {
 	c.Paths[queryID] = append(c.Paths[queryID], cp)
 }
 
+// BufferSink accumulates emissions locally so a concurrent producer can
+// hand batches of results to a shared downstream sink without taking a
+// lock per path. Paths are packed into one flat vertex arena, so a
+// buffered emission costs one append instead of one allocation, and the
+// arenas are retained across flushes.
+//
+// BufferSink is not safe for concurrent use; the intended pattern is one
+// BufferSink per worker, flushed under the consumer's lock at chunk
+// boundaries.
+type BufferSink struct {
+	ids   []int32
+	ends  []int32 // ends[i] is the exclusive end of path i in verts
+	verts []graph.VertexID
+}
+
+// Emit implements Sink; it copies the path into the arena.
+func (b *BufferSink) Emit(queryID int, path []graph.VertexID) {
+	b.ids = append(b.ids, int32(queryID))
+	b.verts = append(b.verts, path...)
+	b.ends = append(b.ends, int32(len(b.verts)))
+}
+
+// Len returns the number of buffered emissions.
+func (b *BufferSink) Len() int { return len(b.ids) }
+
+// Vertices returns the total buffered path length, the natural measure
+// for memory-bounded flush thresholds (paths vary in length).
+func (b *BufferSink) Vertices() int { return len(b.verts) }
+
+// FlushTo replays every buffered emission into sink in emission order
+// and resets the buffer, keeping its capacity. The replayed slices alias
+// the arena, honouring the Sink contract that paths are only valid
+// during the Emit call.
+func (b *BufferSink) FlushTo(sink Sink) {
+	start := int32(0)
+	for i, id := range b.ids {
+		end := b.ends[i]
+		sink.Emit(int(id), b.verts[start:end])
+		start = end
+	}
+	b.ids = b.ids[:0]
+	b.ends = b.ends[:0]
+	b.verts = b.verts[:0]
+}
+
 // FuncSink adapts a function to the Sink interface.
 type FuncSink func(queryID int, path []graph.VertexID)
 

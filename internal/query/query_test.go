@@ -107,6 +107,48 @@ func TestCollectSinkCopies(t *testing.T) {
 	}
 }
 
+// TestBufferSink: emissions replay in order with the right IDs and
+// contents, the source slice is copied, and the buffer resets on flush.
+func TestBufferSink(t *testing.T) {
+	b := &BufferSink{}
+	src := []graph.VertexID{4, 9, 3}
+	b.Emit(2, src)
+	src[0] = 99 // the buffer must have copied
+	b.Emit(0, []graph.VertexID{1})
+	b.Emit(2, []graph.VertexID{4, 9, 15, 6})
+	if b.Len() != 3 || b.Vertices() != 8 {
+		t.Fatalf("Len=%d Vertices=%d, want 3/8", b.Len(), b.Vertices())
+	}
+	var got []string
+	b.FlushTo(FuncSink(func(id int, p []graph.VertexID) {
+		got = append(got, fmt.Sprint(id, p))
+	}))
+	want := []string{"2 [4 9 3]", "0 [1]", "2 [4 9 15 6]"}
+	if len(got) != len(want) {
+		t.Fatalf("flushed %d emissions, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("flush %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if b.Len() != 0 || b.Vertices() != 0 {
+		t.Errorf("buffer not reset: Len=%d Vertices=%d", b.Len(), b.Vertices())
+	}
+	// Reuse after flush must not replay stale entries.
+	b.Emit(5, []graph.VertexID{7})
+	n := 0
+	b.FlushTo(FuncSink(func(id int, p []graph.VertexID) {
+		n++
+		if id != 5 || len(p) != 1 || p[0] != 7 {
+			t.Errorf("reused buffer emitted %d %v", id, p)
+		}
+	}))
+	if n != 1 {
+		t.Errorf("reused buffer flushed %d emissions, want 1", n)
+	}
+}
+
 func TestFuncSink(t *testing.T) {
 	var got string
 	FuncSink(func(id int, p []graph.VertexID) {

@@ -1,0 +1,355 @@
+// Package service implements the online micro-batching layer the paper
+// motivates: "a huge number of clients issue HC-s-t path queries
+// concurrently", and instead of deploying more servers to process them
+// one by one, the service collects the queries arriving inside a small
+// size/time window into a batch and answers the batch with the sharing
+// engines, so concurrent queries pay for their common sub-queries once.
+//
+// Many goroutines call Submit; a collector goroutine forms batches of at
+// most MaxBatch queries, dispatching early when the window MaxWait
+// expires, and each formed batch runs through clustering + BatchEnum+
+// (parallel across sharing groups). Every caller blocks on a private
+// future and receives exactly its own query's results plus the stats of
+// the batch that carried it.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/batchenum"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/timing"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("service: closed")
+
+// Config tunes the batching policy and the engine behind it.
+type Config struct {
+	// MaxBatch caps the queries coalesced into one batch; zero means 64.
+	MaxBatch int
+	// MaxWait bounds how long the first query of a forming batch waits
+	// for company before the batch is dispatched anyway; zero means 2ms.
+	// Larger windows coalesce more queries (more sharing) at the cost of
+	// per-query latency.
+	MaxWait time.Duration
+	// Engine configures the batch engine each formed batch runs through;
+	// the zero value is BasicEnum, so callers almost always want
+	// Algorithm set to BatchPlus.
+	Engine batchenum.Options
+	// Workers is the per-batch parallelism, following
+	// batchenum.ParallelOptions: zero or negative means GOMAXPROCS,
+	// positive is the exact worker count. Batches always run through the
+	// parallel engine — a service exists to exploit concurrency — and
+	// one worker reproduces the sequential engine's results and
+	// behaviour.
+	Workers int
+	// OnBatch, when non-nil, is called with the stats of every completed
+	// batch, after its callers have been released. Calls are serialised.
+	OnBatch func(BatchStats)
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 64
+	}
+	return c.MaxBatch
+}
+
+func (c Config) maxWait() time.Duration {
+	if c.MaxWait <= 0 {
+		return 2 * time.Millisecond
+	}
+	return c.MaxWait
+}
+
+// BatchStats describes one dispatched batch: how much traffic it
+// coalesced, how much sharing the engine found, and where the wall-clock
+// went (queueing wait vs engine time).
+type BatchStats struct {
+	// Queries is the number of concurrent queries coalesced into the
+	// batch.
+	Queries int
+	// Groups is the number of sharing groups clustering formed.
+	Groups int
+	// SharedQueries is the number of dominating HC-s path queries
+	// detected across the batch.
+	SharedQueries int
+	// SplicedPaths counts partial paths answered from the sharing cache
+	// instead of recomputed.
+	SplicedPaths int64
+	// Paths is the total number of result paths of the batch.
+	Paths int64
+	// WaitNanos is the batch-formation wait: first enqueue to dispatch.
+	WaitNanos int64
+	// EnumerateNanos is the engine wall time spent answering the batch.
+	EnumerateNanos int64
+	// Phases is the engine's four-phase time decomposition.
+	Phases timing.Breakdown
+}
+
+// SharingRatio is the fraction of queries the batch engine coalesced
+// with another query: 1 − groups/queries. Zero means every query ran in
+// its own group (no sharing); values near one mean heavy coalescing.
+func (b BatchStats) SharingRatio() float64 {
+	if b.Queries == 0 || b.Groups == 0 {
+		return 0
+	}
+	return 1 - float64(b.Groups)/float64(b.Queries)
+}
+
+// Totals aggregates the service's lifetime counters; read it with Stats.
+type Totals struct {
+	// Batches and Queries count dispatched batches and the queries they
+	// carried; Queries/Batches is the mean coalescing factor.
+	Batches, Queries int64
+	// LargestBatch is the largest batch formed.
+	LargestBatch int
+	// Groups, SharedQueries and SplicedPaths sum the per-batch sharing
+	// counters.
+	Groups, SharedQueries int64
+	SplicedPaths          int64
+	// Paths counts result paths across all batches.
+	Paths int64
+	// WaitNanos and EnumerateNanos sum the per-batch wait and engine
+	// times.
+	WaitNanos, EnumerateNanos int64
+}
+
+// Reply carries one caller's results out of its batch.
+type Reply struct {
+	// Paths holds the caller's result paths when it asked to collect
+	// them, nil in count-only mode.
+	Paths [][]graph.VertexID
+	// Count is the caller's result-path count (also set when collecting).
+	Count int64
+	// Batch describes the batch that answered the query.
+	Batch BatchStats
+}
+
+// request is one caller's seat in a forming batch.
+type request struct {
+	q        query.Query
+	collect  bool
+	enqueued time.Time
+	done     chan error // buffered; receives nil or the batch's error
+	reply    Reply
+}
+
+// Service is a long-lived concurrent micro-batching query engine over
+// one graph. All methods are safe for concurrent use.
+type Service struct {
+	g, gr *graph.Graph
+	cfg   Config
+
+	submit chan *request
+
+	// closing guards submit against send-after-close: Submit sends under
+	// the read side, Close closes under the write side.
+	closing sync.RWMutex
+	closed  bool
+
+	wg sync.WaitGroup // collector + in-flight batch runners
+
+	mu     sync.Mutex
+	totals Totals
+
+	cbMu sync.Mutex // serialises OnBatch callbacks
+}
+
+// New starts a service answering queries on g (gr is its precomputed
+// reverse). The caller must Close it to release the collector.
+func New(g, gr *graph.Graph, cfg Config) *Service {
+	s := &Service{
+		g: g, gr: gr, cfg: cfg,
+		submit: make(chan *request, cfg.maxBatch()),
+	}
+	s.wg.Add(1)
+	go s.collect()
+	return s
+}
+
+// Submit enqueues one query and blocks until its batch completes or ctx
+// is cancelled. When collect is true the reply carries the materialised
+// paths; otherwise only the count (the cheap mode, since result sets
+// grow exponentially with K). The query is validated before it can join
+// a batch, so one malformed query cannot fail the queries it happened to
+// be batched with.
+func (s *Service) Submit(ctx context.Context, q query.Query, collect bool) (*Reply, error) {
+	if err := q.Validate(s.g); err != nil {
+		return nil, err
+	}
+	r := &request{q: q, collect: collect, enqueued: time.Now(), done: make(chan error, 1)}
+
+	s.closing.RLock()
+	if s.closed {
+		s.closing.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.submit <- r:
+		s.closing.RUnlock()
+	case <-ctx.Done():
+		s.closing.RUnlock()
+		return nil, ctx.Err()
+	}
+
+	select {
+	case err := <-r.done:
+		if err != nil {
+			return nil, err
+		}
+		return &r.reply, nil
+	case <-ctx.Done():
+		// The batch still runs; its write into r is unobserved and the
+		// buffered done channel lets the runner move on.
+		return nil, ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the service's lifetime totals.
+func (s *Service) Stats() Totals {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals
+}
+
+// Close dispatches any forming batch, waits for all in-flight batches to
+// complete, and releases the collector. Submissions after Close return
+// ErrClosed; Close is idempotent.
+func (s *Service) Close() {
+	s.closing.Lock()
+	if s.closed {
+		s.closing.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.submit)
+	s.closing.Unlock()
+	s.wg.Wait()
+}
+
+// collect is the batching loop: it owns the forming batch and its
+// deadline timer, dispatching on size, on timeout, or on shutdown.
+func (s *Service) collect() {
+	defer s.wg.Done()
+	var (
+		batch   []*request
+		timer   *time.Timer
+		timeout <-chan time.Time
+	)
+	dispatch := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeout = nil, nil
+		}
+		if len(batch) == 0 {
+			return
+		}
+		b := batch
+		batch = nil
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.runBatch(b)
+		}()
+	}
+	for {
+		select {
+		case r, ok := <-s.submit:
+			if !ok {
+				dispatch()
+				return
+			}
+			batch = append(batch, r)
+			if len(batch) == 1 {
+				timer = time.NewTimer(s.cfg.maxWait())
+				timeout = timer.C
+			}
+			if len(batch) >= s.cfg.maxBatch() {
+				dispatch()
+			}
+		case <-timeout:
+			timer, timeout = nil, nil
+			dispatch()
+		}
+	}
+}
+
+// runBatch answers one formed batch and resolves its futures. Queries
+// take their batch IDs from their position, so the sink routes results
+// straight to the requester.
+func (s *Service) runBatch(batch []*request) {
+	dispatched := time.Now()
+	qs := make([]query.Query, len(batch))
+	for i, r := range batch {
+		qs[i] = r.q
+	}
+	sink := query.FuncSink(func(id int, p []graph.VertexID) {
+		r := batch[id]
+		r.reply.Count++
+		if r.collect {
+			cp := make([]graph.VertexID, len(p))
+			copy(cp, p)
+			r.reply.Paths = append(r.reply.Paths, cp)
+		}
+	})
+
+	t0 := time.Now()
+	st, err := batchenum.RunParallel(s.g, s.gr, qs,
+		batchenum.ParallelOptions{Options: s.cfg.Engine, Workers: s.cfg.Workers}, sink)
+	if err != nil {
+		// Submit pre-validates, so this is systemic, not one query's
+		// fault; fail the whole batch.
+		err = fmt.Errorf("service: batch of %d failed: %w", len(batch), err)
+		for _, r := range batch {
+			r.done <- err
+		}
+		return
+	}
+
+	bs := BatchStats{
+		Queries:        len(batch),
+		Groups:         st.NumGroups,
+		SharedQueries:  st.SharedNodes,
+		SplicedPaths:   st.SplicedPaths,
+		WaitNanos:      dispatched.Sub(batch[0].enqueued).Nanoseconds(),
+		EnumerateNanos: time.Since(t0).Nanoseconds(),
+		Phases:         st.Phases,
+	}
+	for _, r := range batch {
+		bs.Paths += r.reply.Count
+	}
+
+	// Totals are updated before the futures resolve, so a caller that
+	// reads Stats right after its Submit returns sees its own batch.
+	s.mu.Lock()
+	s.totals.Batches++
+	s.totals.Queries += int64(len(batch))
+	if len(batch) > s.totals.LargestBatch {
+		s.totals.LargestBatch = len(batch)
+	}
+	s.totals.Groups += int64(bs.Groups)
+	s.totals.SharedQueries += int64(bs.SharedQueries)
+	s.totals.SplicedPaths += bs.SplicedPaths
+	s.totals.Paths += bs.Paths
+	s.totals.WaitNanos += bs.WaitNanos
+	s.totals.EnumerateNanos += bs.EnumerateNanos
+	s.mu.Unlock()
+
+	for _, r := range batch {
+		r.reply.Batch = bs
+		r.done <- nil
+	}
+
+	if s.cfg.OnBatch != nil {
+		s.cbMu.Lock()
+		s.cfg.OnBatch(bs)
+		s.cbMu.Unlock()
+	}
+}

@@ -1,0 +1,285 @@
+package service
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/batchenum"
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/testgraphs"
+)
+
+func paperService(t *testing.T, cfg Config) (*Service, *graph.Graph) {
+	t.Helper()
+	g := testgraphs.Paper()
+	s := New(g, g.Reverse(), cfg)
+	t.Cleanup(s.Close)
+	return s, g
+}
+
+func paperQueries() []query.Query {
+	var qs []query.Query
+	for _, d := range testgraphs.PaperQueries() {
+		qs = append(qs, query.Query{S: d[0], T: d[1], K: uint8(d[2])})
+	}
+	return qs
+}
+
+// TestSingleQuery: one submission forms a batch of one after MaxWait and
+// returns the paper's ground-truth count.
+func TestSingleQuery(t *testing.T) {
+	s, _ := paperService(t, Config{
+		MaxWait: time.Millisecond,
+		Engine:  batchenum.Options{Algorithm: batchenum.BatchPlus},
+	})
+	r, err := s.Submit(context.Background(), query.Query{S: 0, T: 11, K: 5}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 3 || len(r.Paths) != 3 {
+		t.Fatalf("count=%d paths=%d, want 3/3", r.Count, len(r.Paths))
+	}
+	if r.Batch.Queries != 1 {
+		t.Errorf("batch coalesced %d queries, want 1", r.Batch.Queries)
+	}
+	if r.Batch.WaitNanos <= 0 || r.Batch.EnumerateNanos <= 0 {
+		t.Errorf("batch timings not populated: %+v", r.Batch)
+	}
+}
+
+// TestCoalescing: queries submitted concurrently inside one window land
+// in one batch and each caller receives exactly its own results.
+func TestCoalescing(t *testing.T) {
+	var batches []BatchStats
+	s, _ := paperService(t, Config{
+		MaxBatch: 16,
+		MaxWait:  50 * time.Millisecond,
+		Engine:   batchenum.Options{Algorithm: batchenum.BatchPlus, Gamma: 0.8},
+		Workers:  -1,
+		OnBatch:  func(b BatchStats) { batches = append(batches, b) },
+	})
+	qs := paperQueries()
+	want := []int64{3, 3, 1, 2, 2}
+	var wg sync.WaitGroup
+	counts := make([]int64, len(qs))
+	for i, q := range qs {
+		wg.Add(1)
+		go func(i int, q query.Query) {
+			defer wg.Done()
+			r, err := s.Submit(context.Background(), q, false)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			counts[i] = r.Count
+		}(i, q)
+	}
+	wg.Wait()
+	for i, w := range want {
+		if counts[i] != w {
+			t.Errorf("query %d: count %d, want %d", i, counts[i], w)
+		}
+	}
+	tot := s.Stats()
+	if tot.Queries != int64(len(qs)) {
+		t.Errorf("totals report %d queries, want %d", tot.Queries, len(qs))
+	}
+	if tot.Batches >= tot.Queries {
+		t.Errorf("no coalescing: %d batches for %d queries", tot.Batches, tot.Queries)
+	}
+	s.Close() // flush callbacks before reading batches
+	var seen int
+	for _, b := range batches {
+		seen += b.Queries
+		if b.Queries > 1 && b.SharingRatio() <= 0 {
+			t.Errorf("multi-query batch reports sharing ratio %v: %+v", b.SharingRatio(), b)
+		}
+	}
+	if seen != len(qs) {
+		t.Errorf("OnBatch saw %d queries, want %d", seen, len(qs))
+	}
+}
+
+// TestMaxBatchDispatch: the size trigger fires without waiting for the
+// window to expire.
+func TestMaxBatchDispatch(t *testing.T) {
+	s, _ := paperService(t, Config{
+		MaxBatch: 2,
+		MaxWait:  10 * time.Second, // must not matter
+		Engine:   batchenum.Options{Algorithm: batchenum.BatchPlus},
+	})
+	qs := paperQueries()[:4]
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, q := range qs {
+		wg.Add(1)
+		go func(q query.Query) {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), q, false); err != nil {
+				t.Error(err)
+			}
+		}(q)
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("size-triggered dispatch waited %v", elapsed)
+	}
+	if got := s.Stats().LargestBatch; got > 2 {
+		t.Errorf("batch of %d formed despite MaxBatch=2", got)
+	}
+}
+
+// TestValidationIsolation: a malformed query is rejected at Submit and
+// cannot poison the batch it would have joined.
+func TestValidationIsolation(t *testing.T) {
+	s, _ := paperService(t, Config{
+		MaxBatch: 8,
+		MaxWait:  20 * time.Millisecond,
+		Engine:   batchenum.Options{Algorithm: batchenum.BatchPlus},
+	})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var goodCount int64
+	var badErr error
+	go func() {
+		defer wg.Done()
+		r, err := s.Submit(context.Background(), query.Query{S: 0, T: 11, K: 5}, false)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		goodCount = r.Count
+	}()
+	go func() {
+		defer wg.Done()
+		_, badErr = s.Submit(context.Background(), query.Query{S: 7, T: 7, K: 3}, false)
+	}()
+	wg.Wait()
+	if badErr == nil {
+		t.Error("self-loop query accepted")
+	}
+	if goodCount != 3 {
+		t.Errorf("good query got %d paths, want 3", goodCount)
+	}
+}
+
+// TestContextCancellation: a caller abandoning its future does not wedge
+// the batch or the service.
+func TestContextCancellation(t *testing.T) {
+	s, _ := paperService(t, Config{
+		MaxBatch: 64,
+		MaxWait:  time.Hour, // only cancellation can release the caller
+		Engine:   batchenum.Options{Algorithm: batchenum.BatchPlus},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := s.Submit(ctx, query.Query{S: 0, T: 11, K: 5}, false); err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	s.Close() // must not deadlock on the abandoned request
+}
+
+// TestClose: pending work drains, later submissions are refused, double
+// Close is a no-op.
+func TestClose(t *testing.T) {
+	g := testgraphs.Paper()
+	s := New(g, g.Reverse(), Config{
+		MaxWait: time.Hour, // dispatch must come from Close itself
+		Engine:  batchenum.Options{Algorithm: batchenum.BatchPlus},
+	})
+	done := make(chan int64, 1)
+	go func() {
+		r, err := s.Submit(context.Background(), query.Query{S: 0, T: 11, K: 5}, false)
+		if err != nil {
+			t.Error(err)
+			done <- -1
+			return
+		}
+		done <- r.Count
+	}()
+	time.Sleep(10 * time.Millisecond) // let the request reach the collector
+	s.Close()
+	select {
+	case c := <-done:
+		if c != 3 {
+			t.Fatalf("drained count %d, want 3", c)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain the pending batch")
+	}
+	s.Close() // idempotent
+	if _, err := s.Submit(context.Background(), query.Query{S: 0, T: 11, K: 5}, false); err != ErrClosed {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestResultsMatchSequential: a storm of concurrent submissions across
+// random batching boundaries returns exactly the sequential engine's
+// per-query path sets.
+func TestResultsMatchSequential(t *testing.T) {
+	g := testgraphs.Paper()
+	gr := g.Reverse()
+	qs := paperQueries()
+
+	want := make([][]string, len(qs))
+	for i, q := range qs {
+		cs := query.NewCollectSink(1)
+		if _, err := batchenum.Run(g, gr, []query.Query{q}, batchenum.Options{Algorithm: batchenum.BatchPlus}, cs); err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range cs.Paths[0] {
+			want[i] = append(want[i], pathKey(p))
+		}
+		sort.Strings(want[i])
+	}
+
+	s := New(g, gr, Config{
+		MaxBatch: 3, // force several partial batches per round
+		MaxWait:  time.Millisecond,
+		Engine:   batchenum.Options{Algorithm: batchenum.BatchPlus, Gamma: 0.8},
+		Workers:  -1,
+	})
+	defer s.Close()
+	for round := 0; round < 5; round++ {
+		var wg sync.WaitGroup
+		for i, q := range qs {
+			wg.Add(1)
+			go func(i int, q query.Query) {
+				defer wg.Done()
+				r, err := s.Submit(context.Background(), q, true)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var got []string
+				for _, p := range r.Paths {
+					got = append(got, pathKey(p))
+				}
+				sort.Strings(got)
+				if len(got) != len(want[i]) {
+					t.Errorf("query %d: %d paths, want %d", i, len(got), len(want[i]))
+					return
+				}
+				for j := range got {
+					if got[j] != want[i][j] {
+						t.Errorf("query %d path %d: %s, want %s", i, j, got[j], want[i][j])
+						return
+					}
+				}
+			}(i, q)
+		}
+		wg.Wait()
+	}
+}
+
+func pathKey(p []graph.VertexID) string {
+	b := make([]byte, 0, len(p)*3)
+	for _, v := range p {
+		b = append(b, byte(v), '.')
+	}
+	return string(b)
+}
