@@ -280,6 +280,91 @@ func BenchmarkServiceThroughput(b *testing.B) {
 	})
 }
 
+// zipfFixture caches a repeated-endpoint (Zipfian popularity) workload,
+// the traffic shape the cross-batch index cache targets.
+type zipfFixtureT struct {
+	g  *Graph
+	qs []Query
+}
+
+var zipfFixture *zipfFixtureT
+
+func zipfWorkload(b *testing.B) (*Graph, []Query) {
+	b.Helper()
+	if zipfFixture == nil {
+		spec, err := datasets.ByCode("EP")
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw := spec.Build(0.25)
+		iqs, err := workload.Zipfian(raw, workload.ZipfianConfig{
+			Config: workload.Config{N: 320, KMin: 4, KMax: 5, Seed: 3},
+			Hot:    24,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs := make([]Query, len(iqs))
+		for i, q := range iqs {
+			qs[i] = Query{S: q.S, T: q.T, K: int(q.K)}
+		}
+		zipfFixture = &zipfFixtureT{g: wrap(raw), qs: qs}
+	}
+	return zipfFixture.g, zipfFixture.qs
+}
+
+// BenchmarkServiceCachedThroughput isolates the cross-batch index
+// cache: the same repeated-endpoint traffic served by a cold service
+// (every micro-batch rebuilds its hop-distance maps) versus a cached
+// one (popular endpoints reuse maps built by earlier batches). Both
+// sides run the identical micro-batching pipeline in count mode, so the
+// queries/s delta is the index provider's contribution alone; the
+// cached side also reports its probe hit ratio.
+func BenchmarkServiceCachedThroughput(b *testing.B) {
+	g, qs := zipfWorkload(b)
+	const clients = 16
+
+	run := func(b *testing.B, cacheBytes int64) (hits, misses int64) {
+		for i := 0; i < b.N; i++ {
+			svc := NewService(g, &ServiceOptions{
+				Options:  Options{IndexCacheBytes: cacheBytes},
+				MaxBatch: clients,
+				MaxWait:  time.Millisecond,
+			})
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := c; j < len(qs); j += clients {
+						if _, _, err := svc.Count(context.Background(), qs[j]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			tot := svc.Totals()
+			svc.Close()
+			hits += tot.IndexHits
+			misses += tot.IndexMisses
+		}
+		b.ReportMetric(float64(b.N)*float64(len(qs))/b.Elapsed().Seconds(), "queries/s")
+		return hits, misses
+	}
+
+	b.Run("Cold", func(b *testing.B) {
+		if hits, _ := run(b, -1); hits != 0 {
+			b.Fatalf("cold service reported %d cache hits", hits)
+		}
+	})
+	b.Run("Cached", func(b *testing.B) {
+		hits, misses := run(b, 0) // default budget
+		b.ReportMetric(float64(hits)/float64(max(hits+misses, 1)), "hit-ratio")
+	})
+}
+
 // BenchmarkEngines compares the four engines plus the no-sharing
 // ablation on one high-similarity workload.
 func BenchmarkEngines(b *testing.B) {

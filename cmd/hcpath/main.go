@@ -48,6 +48,7 @@ func main() {
 		clients  = flag.Int("clients", 16, "replay: concurrent client goroutines")
 		maxBatch = flag.Int("maxbatch", 64, "replay: max queries coalesced per batch")
 		maxWait  = flag.Duration("maxwait", 2*time.Millisecond, "replay: batch formation window")
+		cacheMB  = flag.Int("cachemb", 64, "replay: cross-batch index cache budget in MiB (0 disables)")
 		verbose  = flag.Bool("v", false, "replay: print every batch's stats")
 	)
 	flag.Parse()
@@ -72,10 +73,15 @@ func main() {
 		g.NumVertices(), g.NumEdges(), len(qs), algo)
 
 	if *replay {
+		cacheBytes := int64(-1) // 0 MiB: caching off
+		if *cacheMB > 0 {
+			cacheBytes = int64(*cacheMB) << 20
+		}
 		runReplay(g, qs, hcpath.Options{
-			Algorithm: algo,
-			Gamma:     *gamma,
-			MaxHops:   *maxHops,
+			Algorithm:       algo,
+			Gamma:           *gamma,
+			MaxHops:         *maxHops,
+			IndexCacheBytes: cacheBytes,
 		}, *clients, *maxBatch, *maxWait, *verbose)
 		return
 	}
@@ -164,6 +170,18 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients,
 		tot.Groups, tot.SharedQueries, tot.SplicedPaths,
 		(time.Duration(tot.WaitNanos) / time.Duration(max(tot.Batches, 1))).Round(time.Microsecond),
 		(time.Duration(tot.EnumerateNanos) / time.Duration(max(tot.Batches, 1))).Round(time.Microsecond))
+	fmt.Println(cacheLine(tot))
+}
+
+// cacheLine renders the replay report's index-cache summary from the
+// service's lifetime totals.
+func cacheLine(tot hcpath.ServiceTotals) string {
+	if tot.IndexHits+tot.IndexMisses == 0 {
+		return "index cache: no probes"
+	}
+	return fmt.Sprintf("index cache: %.1f%% hit ratio (%d hits, %d misses, %d widened), %d evictions, %.1f MiB",
+		100*tot.IndexHitRatio(), tot.IndexHits, tot.IndexMisses, tot.IndexWidened,
+		tot.IndexEvictions, float64(tot.IndexCacheBytes)/(1<<20))
 }
 
 func report(st hcpath.Stats, elapsed time.Duration) {

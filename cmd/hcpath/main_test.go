@@ -73,3 +73,17 @@ func TestLoadQueriesFile(t *testing.T) {
 		t.Error("missing query sources accepted")
 	}
 }
+
+func TestCacheLine(t *testing.T) {
+	if got := cacheLine(hcpath.ServiceTotals{}); got != "index cache: no probes" {
+		t.Errorf("empty totals: %q", got)
+	}
+	got := cacheLine(hcpath.ServiceTotals{
+		IndexHits: 150, IndexMisses: 50, IndexWidened: 10,
+		IndexEvictions: 3, IndexCacheBytes: 2 << 20,
+	})
+	want := "index cache: 75.0% hit ratio (150 hits, 50 misses, 10 widened), 3 evictions, 2.0 MiB"
+	if got != want {
+		t.Errorf("cacheLine = %q, want %q", got, want)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/batchenum"
 	"repro/internal/graph"
+	"repro/internal/hcindex"
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/sharegraph"
@@ -167,7 +168,20 @@ type Options struct {
 	// execution the emission order across queries is unspecified
 	// (per-query results are unaffected).
 	Workers int
+	// IndexCacheBytes controls the hop-distance-map cache of the index
+	// provider layer, which lets batches that repeat endpoints reuse
+	// each other's MS-BFS results (a cached entry also serves queries
+	// with a smaller hop cap, via threshold filtering). Positive values
+	// set the cache's byte budget; negative disables caching. Zero picks
+	// the layer default: an Engine builds cold per batch (offline
+	// batches rarely repeat endpoints), while a Service caches with
+	// DefaultIndexCacheBytes — its whole point is repeated traffic.
+	IndexCacheBytes int64
 }
+
+// DefaultIndexCacheBytes is the index-cache budget a Service uses when
+// Options.IndexCacheBytes is zero.
+const DefaultIndexCacheBytes = hcindex.DefaultCacheBytes
 
 // maxHopsLimit is the largest accepted hop constraint: queries carry K
 // as uint8 internally, so anything larger would silently truncate.
@@ -185,19 +199,43 @@ func (o *Options) maxHops() int {
 
 // Engine answers HC-s-t path query batches on one graph.
 type Engine struct {
-	g    *Graph
-	opts Options
+	g        *Graph
+	opts     Options
+	provider hcindex.Provider // nil: cold build per batch
 }
 
 // NewEngine returns an engine over g; nil opts selects the defaults
-// (BatchEnum+ with γ = 0.5).
+// (BatchEnum+ with γ = 0.5). A positive Options.IndexCacheBytes gives
+// the engine a private cross-batch index cache, so successive
+// Enumerate/Stream/Count calls that revisit endpoints skip their
+// MS-BFS rebuilds — offline reuse of the online service's cache layer.
 func NewEngine(g *Graph, opts *Options) *Engine {
 	e := &Engine{g: g}
 	if opts != nil {
 		e.opts = *opts
 	}
+	if e.opts.IndexCacheBytes > 0 {
+		e.provider = hcindex.NewCache(e.opts.IndexCacheBytes)
+	}
 	return e
 }
+
+// IndexCacheStats returns the engine's index-cache counters; the zero
+// value when the engine has no cache.
+func (e *Engine) IndexCacheStats() IndexCacheStats {
+	if e.provider == nil {
+		return IndexCacheStats{}
+	}
+	return IndexCacheStats(e.provider.Stats())
+}
+
+// IndexCacheStats snapshots an index cache: probe hits/misses (two
+// probes per query — forward and backward), hits served from wider-cap
+// entries, evictions, and current size.
+type IndexCacheStats hcindex.Stats
+
+// HitRatio returns Hits / (Hits + Misses), zero when no probes ran.
+func (s IndexCacheStats) HitRatio() float64 { return hcindex.Stats(s).HitRatio() }
 
 // Result holds the materialised paths of one batch, grouped by query
 // position.
@@ -237,6 +275,10 @@ type Stats struct {
 	// SplicedPaths counts partial paths answered from the cache instead
 	// of recomputed — the direct measure of sharing.
 	SplicedPaths int64
+	// IndexHits and IndexMisses count the run's index probes (two per
+	// query) answered from the provider's cross-batch cache vs built
+	// fresh; without a cache every probe is a miss.
+	IndexHits, IndexMisses int
 }
 
 // convertQuery checks the hop constraint against the engine's cap before
@@ -271,6 +313,7 @@ func (e *Engine) options() batchenum.Options {
 		Algorithm: e.opts.Algorithm.internal(),
 		Gamma:     e.opts.Gamma,
 		Detect:    sharegraph.Options{DisableSharing: e.opts.DisableSharing},
+		Provider:  e.provider,
 	}
 }
 
@@ -297,6 +340,8 @@ func statsOf(st *batchenum.Stats) Stats {
 		Groups:         st.NumGroups,
 		SharedQueries:  st.SharedNodes,
 		SplicedPaths:   st.SplicedPaths,
+		IndexHits:      st.IndexHits,
+		IndexMisses:    st.IndexMisses,
 	}
 }
 
@@ -372,7 +417,10 @@ type ServiceOptions struct {
 	// the parallel engine (it exists to exploit concurrency), so here
 	// zero or negative means GOMAXPROCS workers per batch and a positive
 	// count is taken literally, one worker reproducing the sequential
-	// engine's behaviour.
+	// engine's behaviour. IndexCacheBytes also flips its default: zero
+	// gives the service a DefaultIndexCacheBytes cross-batch cache
+	// (repeated endpoints skip their MS-BFS rebuilds); negative disables
+	// it.
 	Options
 	// MaxBatch caps the queries coalesced into one micro-batch; zero
 	// means 64.
@@ -414,8 +462,9 @@ func NewService(g *Graph, opts *ServiceOptions) *Service {
 				Gamma:     o.Gamma,
 				Detect:    sharegraph.Options{DisableSharing: o.DisableSharing},
 			},
-			Workers: o.Workers,
-			OnBatch: o.OnBatch,
+			Workers:         o.Workers,
+			IndexCacheBytes: o.IndexCacheBytes,
+			OnBatch:         o.OnBatch,
 		}),
 		maxHops: o.maxHops(),
 	}

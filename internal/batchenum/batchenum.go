@@ -65,6 +65,20 @@ type Options struct {
 	Gamma float64
 	// Detect tunes the sharing detector (BatchEnum engines only).
 	Detect sharegraph.Options
+	// Provider supplies the per-batch distance index. nil means a fresh
+	// cold build per run; a long-lived hcindex.Cache here makes the
+	// index phase amortise across batches that repeat endpoints.
+	Provider hcindex.Provider
+}
+
+// acquire obtains the batch's index through the configured provider,
+// falling back to a one-shot cold builder.
+func (o Options) acquire(g, gr *graph.Graph, qs []query.Query) *hcindex.Index {
+	p := o.Provider
+	if p == nil {
+		p = hcindex.NewBuilder(false)
+	}
+	return p.Acquire(g, gr, qs)
 }
 
 func (o Options) gamma() float64 {
@@ -92,6 +106,10 @@ type Stats struct {
 	// SplicedPaths counts partial paths obtained by splicing a cached
 	// sub-query instead of recursing, the direct measure of reuse.
 	SplicedPaths int64
+	// IndexHits and IndexMisses count the batch's index probes (two per
+	// query: forward and backward) answered from the provider's cache vs
+	// built fresh. A cold build is all misses.
+	IndexHits, IndexMisses int
 }
 
 // Run enumerates every HC-s-t path of every query in the batch with the
@@ -108,8 +126,10 @@ func Run(g, gr *graph.Graph, queries []query.Query, opts Options, sink query.Sin
 	}
 
 	stop := st.Phases.Start(timing.BuildIndex)
-	idx := hcindex.Build(g, gr, qs)
+	idx := opts.acquire(g, gr, qs)
 	stop()
+	defer idx.Release()
+	st.IndexHits, st.IndexMisses = idx.Hits, idx.Misses
 
 	if opts.Algorithm.Shared() {
 		runBatch(g, gr, qs, idx, opts, sink, st)

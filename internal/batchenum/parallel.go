@@ -77,8 +77,10 @@ func RunParallel(g, gr *graph.Graph, queries []query.Query, opts ParallelOptions
 	ms := &mergeSink{sink: sink}
 
 	stop := st.Phases.Start(timing.BuildIndex)
-	idx := hcindex.Build(g, gr, qs)
+	idx := opts.acquire(g, gr, qs)
 	stop()
+	defer idx.Release()
+	st.IndexHits, st.IndexMisses = idx.Hits, idx.Misses
 
 	if opts.Algorithm.Shared() {
 		parallelBatch(g, gr, qs, idx, opts, ms, st)

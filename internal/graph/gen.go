@@ -15,8 +15,13 @@ import (
 // uniformly at random without self-loops (duplicates collapse in Build,
 // so the realised edge count can be marginally below m on dense inputs).
 func GenErdosRenyi(n, m int, seed int64) *Graph {
-	rng := rand.New(rand.NewSource(seed))
 	b := NewBuilder(n)
+	if n < 2 {
+		// No non-self-loop edge exists; without this guard the
+		// rejection loop below could never terminate for n == 1, m > 0.
+		return b.Build()
+	}
+	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < m; i++ {
 		src := VertexID(rng.Intn(n))
 		dst := VertexID(rng.Intn(n))

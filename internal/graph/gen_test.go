@@ -1,0 +1,36 @@
+package graph
+
+import "testing"
+
+// Regression: GenErdosRenyi(1, m>0) used to spin forever in the
+// dst != src rejection loop — with a single vertex every redraw is the
+// source again.
+func TestGenErdosRenyiDegenerate(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g := GenErdosRenyi(n, 5, 42)
+		if g.NumVertices() != n {
+			t.Errorf("n=%d: got %d vertices", n, g.NumVertices())
+		}
+		if g.NumEdges() != 0 {
+			t.Errorf("n=%d: got %d edges, want 0 (no non-self-loop edge exists)", n, g.NumEdges())
+		}
+	}
+}
+
+func TestGenErdosRenyiShape(t *testing.T) {
+	g := GenErdosRenyi(50, 200, 7)
+	if g.NumVertices() != 50 {
+		t.Fatalf("got %d vertices", g.NumVertices())
+	}
+	// Duplicates collapse in Build, so the realised count can dip below
+	// m, but must stay positive and never exceed it.
+	if e := g.NumEdges(); e == 0 || e > 200 {
+		t.Errorf("got %d edges, want (0, 200]", e)
+	}
+	g.Edges(func(src, dst VertexID) bool {
+		if src == dst {
+			t.Errorf("self-loop at %d", src)
+		}
+		return true
+	})
+}

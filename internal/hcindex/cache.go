@@ -1,0 +1,357 @@
+package hcindex
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/msbfs"
+	"repro/internal/query"
+)
+
+// DefaultCacheBytes is the cache budget selected by a non-positive
+// NewCache argument: enough for thousands of entries on the stand-in
+// graphs while staying a small fraction of the graphs themselves.
+const DefaultCacheBytes = 64 << 20
+
+// entryKey identifies one cached hop-distance map: the BFS direction,
+// its source vertex (a query's S forward, T backward), and the hop cap
+// it was built with.
+type entryKey struct {
+	dir Direction
+	v   graph.VertexID
+	cap uint8
+}
+
+// dirVertex keys the per-endpoint cap set used for widened lookups.
+type dirVertex struct {
+	dir Direction
+	v   graph.VertexID
+}
+
+// entry is one cached DistMap with its LRU seat and pin count.
+type entry struct {
+	key   entryKey
+	dm    *msbfs.DistMap
+	bytes int64
+	refs  int           // in-flight Indexes holding this entry
+	elem  *list.Element // seat in Cache.lru (front = most recent)
+	// orphaned marks an entry flushed from the table while still
+	// pinned; its storage is released when the last holder lets go.
+	orphaned bool
+}
+
+// Cache is the cross-batch Provider: a concurrency-safe, ref-counted
+// LRU of hop-distance maps keyed by (direction, source vertex, hop
+// cap). A query with cap k is served from any cached entry of its
+// endpoint with Cap ≥ k through a thresholded view (msbfs.DistMap.View),
+// so widening traffic (the same endpoints asked with varying k) still
+// hits. Entries pinned by in-flight batches are never evicted — their
+// dense arrays are live in enumeration hot loops — which lets the byte
+// budget overshoot transiently under heavy concurrency; eviction
+// releases the dense arrays into a msbfs.Pool for the next misses to
+// reuse.
+//
+// The cache binds to the first graph pair it serves. Acquiring with a
+// different pair flushes and rebinds (a convenience for tests; real
+// deployments hold one cache per graph).
+type Cache struct {
+	maxBytes int64
+
+	mu      sync.Mutex
+	g, gr   *graph.Graph
+	pool    *msbfs.Pool
+	entries map[entryKey]*entry
+	caps    map[dirVertex][]uint8 // ascending caps present per endpoint
+	lru     *list.List
+	bytes   int64
+
+	hits, misses, widened, evictions int64
+}
+
+// NewCache returns an empty cache bounded by maxBytes of dense-array
+// storage; non-positive means DefaultCacheBytes.
+func NewCache(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &Cache{
+		maxBytes: maxBytes,
+		entries:  make(map[entryKey]*entry),
+		caps:     make(map[dirVertex][]uint8),
+		lru:      list.New(),
+	}
+}
+
+// Stats implements Provider.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Widened: c.widened,
+		Evictions: c.evictions,
+		Entries:   len(c.entries), BytesInUse: c.bytes, BytesBudget: c.maxBytes,
+	}
+}
+
+// Acquire implements Provider: cached endpoints are pinned and served
+// (through views where the cached cap is wider), the rest are built
+// with two pooled MS-BFS passes and inserted. Within one batch every
+// distinct (direction, endpoint, cap) resolves to a single *DistMap,
+// matching the cold builder's dedup exactly — downstream constraint
+// merging keys on map identity.
+func (c *Cache) Acquire(g, gr *graph.Graph, queries []query.Query) *Index {
+	idx := &Index{
+		fwd: make([]*msbfs.DistMap, len(queries)),
+		bwd: make([]*msbfs.DistMap, len(queries)),
+	}
+
+	// serving maps each key this batch needs to its pinned cache entry;
+	// missSet marks the keys queued for building. View materialisation
+	// (O(|Γ|) for a widened hit) happens after the lock is dropped — the
+	// pins make that safe.
+	serving := make(map[entryKey]*entry)
+	missSet := make(map[entryKey]struct{})
+	pinned := make(map[*entry]struct{})
+	var missKeys []entryKey
+
+	c.mu.Lock()
+	c.bindLocked(g, gr)
+	pool := c.pool
+	for _, q := range queries {
+		for _, key := range [2]entryKey{
+			{Forward, q.S, q.K},
+			{Backward, q.T, q.K},
+		} {
+			if _, ok := serving[key]; ok {
+				idx.Hits++ // resolved from cache earlier in this batch
+				continue
+			}
+			if _, ok := missSet[key]; ok {
+				idx.Misses++ // already queued for building
+				continue
+			}
+			if e := c.lookupLocked(key); e != nil {
+				if _, ok := pinned[e]; !ok {
+					pinned[e] = struct{}{}
+					e.refs++
+				}
+				c.lru.MoveToFront(e.elem)
+				serving[key] = e
+				idx.Hits++
+				if e.key.cap != key.cap {
+					c.widened++
+				}
+			} else {
+				missSet[key] = struct{}{}
+				missKeys = append(missKeys, key)
+				idx.Misses++
+			}
+		}
+	}
+	c.hits += int64(idx.Hits)
+	c.misses += int64(idx.Misses)
+	c.mu.Unlock()
+
+	// resolved maps each key to the servable DistMap handed to queries.
+	resolved := make(map[entryKey]*msbfs.DistMap, len(serving)+len(missKeys))
+	for key, e := range serving {
+		resolved[key] = e.dm.View(key.cap)
+	}
+
+	// Build all misses outside the lock: one MS-BFS pass per direction.
+	built := c.buildMisses(g, gr, missKeys, pool)
+
+	var bypass []*msbfs.DistMap
+	inserted := make(map[entryKey]*entry, len(missKeys))
+	c.mu.Lock()
+	if c.g != g || c.gr != gr {
+		// Another batch rebound the cache to a different graph while we
+		// were building: our maps must not enter its table. Serve them
+		// privately and release them with the index.
+		for j, key := range missKeys {
+			resolved[key] = built[j]
+		}
+		bypass = built
+	} else {
+		for j, key := range missKeys {
+			e := c.insertLocked(key, built[j])
+			if _, ok := pinned[e]; !ok {
+				pinned[e] = struct{}{}
+				e.refs++
+			}
+			inserted[key] = e
+		}
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	for key, e := range inserted {
+		resolved[key] = e.dm.View(key.cap) // view in case a wider entry won the insert race
+	}
+
+	for i, q := range queries {
+		idx.fwd[i] = resolved[entryKey{Forward, q.S, q.K}]
+		idx.bwd[i] = resolved[entryKey{Backward, q.T, q.K}]
+	}
+
+	idx.release = func() {
+		c.mu.Lock()
+		for e := range pinned {
+			e.refs--
+			if e.refs == 0 && e.orphaned {
+				e.dm.Release()
+			}
+		}
+		c.evictLocked()
+		c.mu.Unlock()
+		for _, dm := range bypass {
+			dm.Release()
+		}
+	}
+	return idx
+}
+
+// buildMisses runs the two deduplicated MS-BFS passes for the missing
+// keys, positionally aligned with keys.
+func (c *Cache) buildMisses(g, gr *graph.Graph, keys []entryKey, pool *msbfs.Pool) []*msbfs.DistMap {
+	if len(keys) == 0 {
+		return nil
+	}
+	out := make([]*msbfs.DistMap, len(keys))
+	for _, dir := range [2]Direction{Forward, Backward} {
+		var sources []graph.VertexID
+		var caps []uint8
+		var slots []int
+		for j, key := range keys {
+			if key.dir == dir {
+				sources = append(sources, key.v)
+				caps = append(caps, key.cap)
+				slots = append(slots, j)
+			}
+		}
+		if len(sources) == 0 {
+			continue
+		}
+		on := g
+		if dir == Backward {
+			on = gr
+		}
+		for j, dm := range msbfs.MultiSourceIn(on, sources, caps, pool) {
+			out[slots[j]] = dm
+		}
+	}
+	return out
+}
+
+// bindLocked flushes and rebinds when the graph pair changes.
+func (c *Cache) bindLocked(g, gr *graph.Graph) {
+	if c.g == g && c.gr == gr {
+		return
+	}
+	for _, e := range c.entries {
+		c.dropLocked(e)
+	}
+	c.g, c.gr = g, gr
+	c.pool = msbfs.NewPool(g.NumVertices())
+}
+
+// lookupLocked returns the servable entry for key: the exact cap if
+// present, else the narrowest cached cap above it.
+func (c *Cache) lookupLocked(key entryKey) *entry {
+	if e, ok := c.entries[key]; ok {
+		return e
+	}
+	for _, cp := range c.caps[dirVertex{key.dir, key.v}] {
+		if cp > key.cap {
+			return c.entries[entryKey{key.dir, key.v, cp}]
+		}
+	}
+	return nil
+}
+
+// insertLocked adds a freshly built map under key, resolving races with
+// concurrent builders of the same endpoint: an existing entry with an
+// equal or wider cap wins and the new build is discarded; a narrower
+// unpinned entry is subsumed (dropped) by the new one. Concurrent
+// batches cold-missing the same key thus each pay a build and all but
+// one are discarded — a deliberate simplicity tradeoff over per-key
+// singleflight, bounded to the cache's warm-up window (and the loser's
+// arrays go straight back to the pool).
+func (c *Cache) insertLocked(key entryKey, dm *msbfs.DistMap) *entry {
+	if e := c.lookupLocked(key); e != nil {
+		dm.Release()
+		c.lru.MoveToFront(e.elem)
+		return e
+	}
+	dv := dirVertex{key.dir, key.v}
+	for _, cp := range append([]uint8(nil), c.caps[dv]...) {
+		if cp < key.cap {
+			if narrow := c.entries[entryKey{key.dir, key.v, cp}]; narrow.refs == 0 {
+				c.dropLocked(narrow)
+				c.evictions++
+			}
+		}
+	}
+	e := &entry{
+		key:   key,
+		dm:    dm,
+		bytes: int64(c.pool.NumVertices()) + 4*int64(dm.NumVisited()),
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	caps := c.caps[dv]
+	at := 0
+	for at < len(caps) && caps[at] < key.cap {
+		at++
+	}
+	caps = append(caps, 0)
+	copy(caps[at+1:], caps[at:])
+	caps[at] = key.cap
+	c.caps[dv] = caps
+	c.bytes += e.bytes
+	return e
+}
+
+// evictLocked drops least-recently-used unpinned entries until the byte
+// budget holds.
+func (c *Cache) evictLocked() {
+	for c.bytes > c.maxBytes {
+		var victim *entry
+		for elem := c.lru.Back(); elem != nil; elem = elem.Prev() {
+			if e := elem.Value.(*entry); e.refs == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return // everything pinned; transient overshoot
+		}
+		c.dropLocked(victim)
+		c.evictions++
+	}
+}
+
+// dropLocked removes an entry from the table, LRU and cap set. Unpinned
+// storage returns to the pool immediately; pinned entries are orphaned
+// and release on their last unpin.
+func (c *Cache) dropLocked(e *entry) {
+	delete(c.entries, e.key)
+	c.lru.Remove(e.elem)
+	dv := dirVertex{e.key.dir, e.key.v}
+	caps := c.caps[dv]
+	for i, cp := range caps {
+		if cp == e.key.cap {
+			c.caps[dv] = append(caps[:i], caps[i+1:]...)
+			break
+		}
+	}
+	if len(c.caps[dv]) == 0 {
+		delete(c.caps, dv)
+	}
+	c.bytes -= e.bytes
+	if e.refs == 0 {
+		e.dm.Release()
+	} else {
+		e.orphaned = true
+	}
+}

@@ -1,0 +1,213 @@
+package hcindex
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+func cacheFixture(t *testing.T) (g, gr *graph.Graph, qs []query.Query) {
+	t.Helper()
+	g = graph.GenRandom(400, 4, 3)
+	gr = g.Reverse()
+	raw := []query.Query{
+		{S: 1, T: 200, K: 4},
+		{S: 1, T: 200, K: 4}, // duplicate: must share maps
+		{S: 7, T: 31, K: 5},
+		{S: 1, T: 31, K: 3}, // repeats endpoint 1 with narrower cap
+	}
+	qs, err := query.Batch(g, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, gr, qs
+}
+
+// indexesAgree compares every per-query map of two indexes over all
+// vertices.
+func indexesAgree(t *testing.T, label string, g *graph.Graph, want, got *Index, nq int) {
+	t.Helper()
+	for i := 0; i < nq; i++ {
+		for v := graph.VertexID(0); int(v) < g.NumVertices(); v++ {
+			if a, b := want.DistFromS(i, v), got.DistFromS(i, v); a != b {
+				t.Fatalf("%s: query %d fwd dist(%d): %d vs %d", label, i, v, b, a)
+			}
+			if a, b := want.DistToT(i, v), got.DistToT(i, v); a != b {
+				t.Fatalf("%s: query %d bwd dist(%d): %d vs %d", label, i, v, b, a)
+			}
+		}
+		if a, b := len(want.Gamma(i)), len(got.Gamma(i)); a != b {
+			t.Fatalf("%s: query %d |Γ|: %d vs %d", label, i, b, a)
+		}
+		if a, b := len(want.GammaR(i)), len(got.GammaR(i)); a != b {
+			t.Fatalf("%s: query %d |Γr|: %d vs %d", label, i, b, a)
+		}
+	}
+}
+
+// TestCacheMatchesColdBuild: a cache must reproduce Build exactly, on
+// its cold pass and again on its fully warm pass.
+func TestCacheMatchesColdBuild(t *testing.T) {
+	g, gr, qs := cacheFixture(t)
+	want := Build(g, gr, qs)
+	c := NewCache(0)
+	for _, round := range []string{"cold", "warm"} {
+		idx := c.Acquire(g, gr, qs)
+		indexesAgree(t, round, g, want, idx, len(qs))
+		if round == "warm" && idx.Misses != 0 {
+			t.Errorf("warm pass missed %d probes", idx.Misses)
+		}
+		if idx.Hits+idx.Misses != 2*len(qs) {
+			t.Errorf("%s: %d probes accounted, want %d", round, idx.Hits+idx.Misses, 2*len(qs))
+		}
+		idx.Release()
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 || st.BytesInUse == 0 || st.Entries == 0 {
+		t.Errorf("implausible stats after warm pass: %+v", st)
+	}
+}
+
+// TestCacheWidening: entries built at a larger cap must serve narrower
+// queries through threshold filtering, and the served maps must match a
+// cold build at the narrow cap exactly.
+func TestCacheWidening(t *testing.T) {
+	g, gr, _ := cacheFixture(t)
+	wideRaw := []query.Query{{S: 3, T: 50, K: 8}, {S: 90, T: 3, K: 8}}
+	narrowRaw := []query.Query{{S: 3, T: 50, K: 5}, {S: 90, T: 3, K: 5}}
+	wide, err := query.Batch(g, wideRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := query.Batch(g, narrowRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	c.Acquire(g, gr, wide).Release()
+	idx := c.Acquire(g, gr, narrow)
+	if idx.Misses != 0 {
+		t.Fatalf("widened pass missed %d probes", idx.Misses)
+	}
+	indexesAgree(t, "widened", g, Build(g, gr, narrow), idx, len(narrow))
+	idx.Release()
+	if w := c.Stats().Widened; w == 0 {
+		t.Error("no widened hits recorded")
+	}
+}
+
+// TestCacheSubsumesNarrowEntries: inserting a wider entry drops the now
+// redundant narrower one for the same endpoint.
+func TestCacheSubsumesNarrowEntries(t *testing.T) {
+	g, gr, _ := cacheFixture(t)
+	narrow, _ := query.Batch(g, []query.Query{{S: 3, T: 50, K: 3}})
+	wide, _ := query.Batch(g, []query.Query{{S: 3, T: 50, K: 7}})
+	c := NewCache(0)
+	c.Acquire(g, gr, narrow).Release()
+	if got := c.Stats().Entries; got != 2 {
+		t.Fatalf("after narrow pass: %d entries, want 2", got)
+	}
+	c.Acquire(g, gr, wide).Release()
+	// Forward (3, cap 3) and backward (50, cap 3) are both subsumed by
+	// their cap-7 rebuilds.
+	if got := c.Stats().Entries; got != 2 {
+		t.Errorf("after wide pass: %d entries, want 2 (narrow subsumed)", got)
+	}
+	idx := c.Acquire(g, gr, narrow)
+	if idx.Misses != 0 {
+		t.Errorf("narrow re-query missed %d probes, want widened hits", idx.Misses)
+	}
+	idx.Release()
+}
+
+// TestCacheEviction: a tiny budget must evict continuously without ever
+// corrupting in-flight results, and pinned entries must survive until
+// release.
+func TestCacheEviction(t *testing.T) {
+	g, gr, qs := cacheFixture(t)
+	c := NewCache(1) // evict everything as soon as it is unpinned
+	want := Build(g, gr, qs)
+	idx := c.Acquire(g, gr, qs)
+	indexesAgree(t, "pinned", g, want, idx, len(qs))
+	if c.Stats().BytesInUse == 0 {
+		t.Error("pinned entries not accounted")
+	}
+	idx.Release()
+	st := c.Stats()
+	if st.Entries != 0 || st.BytesInUse != 0 {
+		t.Errorf("budget 1: %d entries / %d bytes survive release", st.Entries, st.BytesInUse)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	// Second pass over the flushed cache must still be correct.
+	idx2 := c.Acquire(g, gr, qs)
+	indexesAgree(t, "after-evict", g, want, idx2, len(qs))
+	idx2.Release()
+}
+
+// TestCacheRebind: acquiring with a different graph flushes and serves
+// the new graph correctly.
+func TestCacheRebind(t *testing.T) {
+	g, gr, qs := cacheFixture(t)
+	g2 := graph.GenGrid(10, 10)
+	gr2 := g2.Reverse()
+	qs2, err := query.Batch(g2, []query.Query{{S: 0, T: 99, K: 18}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(0)
+	c.Acquire(g, gr, qs).Release()
+	idx := c.Acquire(g2, gr2, qs2)
+	indexesAgree(t, "rebind", g2, Build(g2, gr2, qs2), idx, len(qs2))
+	idx.Release()
+	idx2 := c.Acquire(g, gr, qs)
+	indexesAgree(t, "rebind-back", g, Build(g, gr, qs), idx2, len(qs))
+	idx2.Release()
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines (mixed
+// caps so widening, insertion races and eviction all fire) under -race.
+func TestCacheConcurrent(t *testing.T) {
+	g := graph.GenRandom(300, 4, 9)
+	gr := g.Reverse()
+	c := NewCache(200_000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				raw := []query.Query{
+					{S: graph.VertexID((w + i) % 300), T: graph.VertexID((w*17 + i*3 + 1) % 300), K: uint8(3 + (w+i)%4)},
+					{S: graph.VertexID(i % 7), T: graph.VertexID(200 + w), K: uint8(3 + i%4)},
+				}
+				if raw[0].S == raw[0].T || raw[1].S == raw[1].T {
+					continue
+				}
+				qs, err := query.Batch(g, raw)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				idx := c.Acquire(g, gr, qs)
+				want := Build(g, gr, qs)
+				for qi := range qs {
+					for _, v := range want.Gamma(qi) {
+						if idx.DistFromS(qi, v) != want.DistFromS(qi, v) {
+							t.Errorf("worker %d: fwd divergence", w)
+							break
+						}
+					}
+				}
+				idx.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits == 0 {
+		t.Error("concurrent run produced no hits")
+	}
+}

@@ -17,20 +17,63 @@ import (
 const Unreachable = msbfs.Unreachable
 
 // Index holds per-query forward and backward hop-bounded distance maps.
+// Indexes obtained from a Provider must be Released when the batch is
+// done with them (after enumeration, before the next batch), returning
+// cached entries and pooled storage to the provider.
 type Index struct {
 	fwd []*msbfs.DistMap // fwd[i]: distances from queries[i].S on G
 	bwd []*msbfs.DistMap // bwd[i]: distances from queries[i].T on Gr
+
+	// Hits and Misses count this acquisition's index probes — two per
+	// query (forward and backward) — answered from a provider's cache vs
+	// built fresh. A cold build is all misses.
+	Hits, Misses int
+
+	release func()
+}
+
+// Release hands the index's entries back to the provider that produced
+// it: cache entries are unpinned (evictable again), pooled dense arrays
+// return to the free-list. Safe to call more than once; a no-op for
+// plain Build indexes.
+func (idx *Index) Release() {
+	if f := idx.release; f != nil {
+		idx.release = nil
+		f()
+	}
 }
 
 // Build constructs the index for the batch with two multi-source BFS
 // passes (one on G, one on Gr), deduplicating identical (vertex, cap)
 // sources so shared endpoints are traversed once.
 func Build(g, gr *graph.Graph, queries []query.Query) *Index {
+	return buildIn(g, gr, queries, nil)
+}
+
+// buildIn is Build drawing storage from pool (nil means plain
+// allocations).
+func buildIn(g, gr *graph.Graph, queries []query.Query, pool *msbfs.Pool) *Index {
 	idx := &Index{
-		fwd: dedupRun(g, queries, func(q query.Query) (graph.VertexID, uint8) { return q.S, q.K }),
-		bwd: dedupRun(gr, queries, func(q query.Query) (graph.VertexID, uint8) { return q.T, q.K }),
+		fwd:    dedupRun(g, queries, pool, func(q query.Query) (graph.VertexID, uint8) { return q.S, q.K }),
+		bwd:    dedupRun(gr, queries, pool, func(q query.Query) (graph.VertexID, uint8) { return q.T, q.K }),
+		Misses: 2 * len(queries),
 	}
 	return idx
+}
+
+// releaseDistinct releases every distinct DistMap of the index once
+// (dedupRun aliases one map across the queries that share an endpoint).
+func (idx *Index) releaseDistinct() {
+	seen := make(map[*msbfs.DistMap]struct{}, len(idx.fwd)+len(idx.bwd))
+	for _, maps := range [2][]*msbfs.DistMap{idx.fwd, idx.bwd} {
+		for _, dm := range maps {
+			if _, ok := seen[dm]; ok {
+				continue
+			}
+			seen[dm] = struct{}{}
+			dm.Release()
+		}
+	}
 }
 
 type srcKey struct {
@@ -40,7 +83,7 @@ type srcKey struct {
 
 // dedupRun runs one multi-source BFS for the distinct (vertex, cap)
 // pairs produced by pick, then fans results back out per query.
-func dedupRun(g *graph.Graph, queries []query.Query, pick func(query.Query) (graph.VertexID, uint8)) []*msbfs.DistMap {
+func dedupRun(g *graph.Graph, queries []query.Query, pool *msbfs.Pool, pick func(query.Query) (graph.VertexID, uint8)) []*msbfs.DistMap {
 	slot := make(map[srcKey]int)
 	var sources []graph.VertexID
 	var caps []uint8
@@ -57,7 +100,7 @@ func dedupRun(g *graph.Graph, queries []query.Query, pick func(query.Query) (gra
 		}
 		assign[i] = s
 	}
-	res := msbfs.MultiSource(g, sources, caps)
+	res := msbfs.MultiSourceIn(g, sources, caps, pool)
 	out := make([]*msbfs.DistMap, len(queries))
 	for i, s := range assign {
 		out[i] = res[s]

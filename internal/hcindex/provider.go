@@ -1,0 +1,95 @@
+// Provider abstraction over index construction. The engines never call
+// Build directly any more: they Acquire an Index from a Provider and
+// Release it when the batch is answered. Two implementations exist —
+// the cold Builder (a fresh build per batch, optionally recycling dense
+// arrays through a msbfs.Pool) and the cross-batch Cache (cache.go),
+// which amortises the MS-BFS phase across batches that repeat
+// endpoints, the dominant pattern of online traffic.
+package hcindex
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/msbfs"
+	"repro/internal/query"
+)
+
+// Provider supplies per-batch distance indexes. Implementations must be
+// safe for concurrent Acquire/Release from multiple in-flight batches.
+type Provider interface {
+	// Acquire returns the index for the batch. Queries must already be
+	// validated (query.Batch). The caller owns the result until it calls
+	// Release on it.
+	Acquire(g, gr *graph.Graph, queries []query.Query) *Index
+	// Stats returns a snapshot of the provider's lifetime counters.
+	Stats() Stats
+}
+
+// Stats are a Provider's lifetime counters. For the cold Builder only
+// Misses advances; the Cache fills everything.
+type Stats struct {
+	// Hits and Misses count index probes (two per query: forward and
+	// backward) answered from cache vs built fresh.
+	Hits, Misses int64
+	// Widened counts the subset of Hits served from an entry with a
+	// larger hop cap than the query's, through threshold filtering.
+	Widened int64
+	// Evictions counts cache entries dropped to stay inside the byte
+	// budget.
+	Evictions int64
+	// Entries and BytesInUse describe the cache's current contents;
+	// BytesBudget is its configured ceiling.
+	Entries     int
+	BytesInUse  int64
+	BytesBudget int64
+}
+
+// HitRatio returns Hits / (Hits + Misses), zero when no probes ran.
+func (s Stats) HitRatio() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Builder is the cold Provider: every Acquire runs the two MS-BFS
+// passes of Build. With pooling enabled the dense distance arrays are
+// recycled through a msbfs.Pool across batches (sparse-reset on
+// Release), so repeated batches stop paying the n-byte-per-source
+// allocation churn even without result caching.
+type Builder struct {
+	pooled bool
+
+	mu   sync.Mutex
+	pool *msbfs.Pool // lazily sized to the graph seen
+
+	misses atomic.Int64
+}
+
+// NewBuilder returns a cold Provider; pooled selects dense-array
+// recycling.
+func NewBuilder(pooled bool) *Builder { return &Builder{pooled: pooled} }
+
+// Acquire implements Provider with a fresh build.
+func (b *Builder) Acquire(g, gr *graph.Graph, queries []query.Query) *Index {
+	var pool *msbfs.Pool
+	if b.pooled {
+		b.mu.Lock()
+		if b.pool == nil || b.pool.NumVertices() != g.NumVertices() {
+			b.pool = msbfs.NewPool(g.NumVertices())
+		}
+		pool = b.pool
+		b.mu.Unlock()
+	}
+	idx := buildIn(g, gr, queries, pool)
+	if pool != nil {
+		idx.release = idx.releaseDistinct
+	}
+	b.misses.Add(int64(idx.Misses))
+	return idx
+}
+
+// Stats implements Provider.
+func (b *Builder) Stats() Stats { return Stats{Misses: b.misses.Load()} }

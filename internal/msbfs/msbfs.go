@@ -13,6 +13,7 @@ package msbfs
 import (
 	"math/bits"
 	"slices"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -36,18 +37,28 @@ type DistMap struct {
 
 	dist    []uint8          // len n; Unreachable where unvisited
 	visited []graph.VertexID // sorted ascending
+	pool    *Pool            // nil for unpooled maps and views
 }
 
 // Dist returns the shortest-path distance from the source to v, or
-// Unreachable if v is farther than Cap hops (or disconnected).
+// Unreachable if v is farther than Cap hops (or disconnected). The Cap
+// comparison makes thresholded Views work on shared storage: a view's
+// dist array may hold distances beyond its Cap (written by the wider
+// parent map), and they must read as Unreachable.
 func (d *DistMap) Dist(v graph.VertexID) uint8 {
-	return d.dist[v]
+	if dv := d.dist[v]; dv <= d.Cap {
+		return dv
+	}
+	return Unreachable
 }
 
 // Contains reports whether v is within Cap hops of the source, i.e.
 // v ∈ Γ. It is the O(1) membership probe the similarity estimator uses.
+// The explicit Unreachable test matters at Cap = 255, where the Cap
+// comparison alone would admit unvisited vertices.
 func (d *DistMap) Contains(v graph.VertexID) bool {
-	return d.dist[v] != Unreachable
+	dv := d.dist[v]
+	return dv != Unreachable && dv <= d.Cap
 }
 
 // Visited returns the sorted set of vertices within Cap hops of the
@@ -58,13 +69,127 @@ func (d *DistMap) Visited() []graph.VertexID { return d.visited }
 // NumVisited returns |Γ|.
 func (d *DistMap) NumVisited() int { return len(d.visited) }
 
+// View returns a map equivalent to a fresh BFS from the same source
+// bounded at cap ≤ d.Cap: the dense array is shared (Dist thresholds on
+// Cap) and the visited set is filtered once here. A cached index entry
+// built at a larger cap can thus serve any narrower query without a
+// traversal. The view aliases d's storage: it must not outlive d's
+// release, and Release on the view itself is a no-op.
+func (d *DistMap) View(cap uint8) *DistMap {
+	if cap >= d.Cap {
+		return d
+	}
+	vis := make([]graph.VertexID, 0, len(d.visited))
+	for _, v := range d.visited {
+		if d.dist[v] <= cap {
+			vis = append(vis, v)
+		}
+	}
+	return &DistMap{Source: d.Source, Cap: cap, dist: d.dist, visited: vis}
+}
+
+// Release returns a pooled map's storage to its Pool for reuse; for
+// unpooled maps and views it is a no-op. The dense array is reset
+// sparsely — only the visited entries are cleared, far cheaper than an
+// n-byte memset when |Γ| ≪ n — restoring the pool's all-Unreachable
+// invariant. The map must not be used afterwards.
+func (d *DistMap) Release() {
+	p := d.pool
+	if p == nil {
+		return
+	}
+	d.pool = nil
+	for _, v := range d.visited {
+		d.dist[v] = Unreachable
+	}
+	p.put(d.dist, d.visited[:0])
+	d.dist, d.visited = nil, nil
+}
+
+// Pool recycles the dense per-source distance arrays (and visited
+// slices) of DistMaps for one graph size, killing the n-byte-per-source
+// allocation churn of repeated index builds. Free arrays are kept clean
+// (every entry Unreachable), so acquisition skips the initialising
+// memset too. All methods are safe for concurrent use.
+type Pool struct {
+	n int
+
+	mu      sync.Mutex
+	dists   [][]uint8          // all entries Unreachable
+	visited [][]graph.VertexID // len 0, capacity retained
+	allocs  int64
+}
+
+// NewPool returns a pool of distance arrays for graphs of n vertices.
+func NewPool(n int) *Pool { return &Pool{n: n} }
+
+// NumVertices returns the vertex count the pool's arrays are sized for.
+func (p *Pool) NumVertices() int { return p.n }
+
+// Allocs returns how many dense arrays the pool has ever allocated —
+// the steady state of a well-sized workload stops growing it.
+func (p *Pool) Allocs() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.allocs
+}
+
+// get hands out k clean dist arrays and up to k recycled visited
+// slices (missing ones are nil). Only the free-list pops happen under
+// the mutex; allocating and memsetting the shortfall — n bytes per
+// array — runs outside it, so concurrent cold builds don't serialise
+// on the lock.
+func (p *Pool) get(k int) (dists [][]uint8, visited [][]graph.VertexID) {
+	dists = make([][]uint8, 0, k)
+	visited = make([][]graph.VertexID, k)
+	p.mu.Lock()
+	for len(dists) < k && len(p.dists) > 0 {
+		l := len(p.dists) - 1
+		dists = append(dists, p.dists[l])
+		p.dists = p.dists[:l]
+	}
+	for i := 0; i < k && len(p.visited) > 0; i++ {
+		l := len(p.visited) - 1
+		visited[i] = p.visited[l]
+		p.visited = p.visited[:l]
+	}
+	p.allocs += int64(k - len(dists))
+	p.mu.Unlock()
+	for len(dists) < k {
+		d := make([]uint8, p.n)
+		for i := range d {
+			d[i] = Unreachable
+		}
+		dists = append(dists, d)
+	}
+	return dists, visited
+}
+
+func (p *Pool) put(dist []uint8, visited []graph.VertexID) {
+	p.mu.Lock()
+	p.dists = append(p.dists, dist)
+	p.visited = append(p.visited, visited)
+	p.mu.Unlock()
+}
+
 // MultiSource runs hop-bounded BFSs from every source concurrently using
 // 64-way bit parallelism. caps[i] is the depth bound for sources[i];
 // len(caps) must equal len(sources). Results are positionally aligned
 // with sources. Duplicate sources are allowed (each gets its own result).
 func MultiSource(g *graph.Graph, sources []graph.VertexID, caps []uint8) []*DistMap {
+	return MultiSourceIn(g, sources, caps, nil)
+}
+
+// MultiSourceIn is MultiSource drawing each result's storage from pool;
+// the returned maps must be Released when no longer needed. A nil pool
+// falls back to per-chunk flat allocations (never pooled, Release is a
+// no-op).
+func MultiSourceIn(g *graph.Graph, sources []graph.VertexID, caps []uint8, pool *Pool) []*DistMap {
 	if len(sources) != len(caps) {
 		panic("msbfs: len(sources) != len(caps)")
+	}
+	if pool != nil && pool.n != g.NumVertices() {
+		panic("msbfs: pool sized for a different graph")
 	}
 	results := make([]*DistMap, len(sources))
 	for lo := 0; lo < len(sources); lo += 64 {
@@ -72,27 +197,37 @@ func MultiSource(g *graph.Graph, sources []graph.VertexID, caps []uint8) []*Dist
 		if hi > len(sources) {
 			hi = len(sources)
 		}
-		chunkRun(g, sources[lo:hi], caps[lo:hi], results[lo:hi])
+		chunkRun(g, sources[lo:hi], caps[lo:hi], results[lo:hi], pool)
 	}
 	return results
 }
 
 // chunkRun advances up to 64 bounded BFSs simultaneously.
-func chunkRun(g *graph.Graph, sources []graph.VertexID, caps []uint8, out []*DistMap) {
+func chunkRun(g *graph.Graph, sources []graph.VertexID, caps []uint8, out []*DistMap, pool *Pool) {
 	n := g.NumVertices()
 	k := len(sources)
 	maxCap := uint8(0)
-	// One flat allocation for all k distance arrays of the chunk.
-	flat := make([]uint8, k*n)
-	for i := range flat {
-		flat[i] = Unreachable
+	if pool != nil {
+		// Pooled arrays arrive clean, so no initialisation pass.
+		dists, visited := pool.get(k)
+		for i := 0; i < k; i++ {
+			out[i] = &DistMap{Source: sources[i], Cap: caps[i], dist: dists[i], visited: visited[i], pool: pool}
+		}
+	} else {
+		// One flat allocation for all k distance arrays of the chunk.
+		flat := make([]uint8, k*n)
+		for i := range flat {
+			flat[i] = Unreachable
+		}
+		for i := 0; i < k; i++ {
+			out[i] = &DistMap{
+				Source: sources[i],
+				Cap:    caps[i],
+				dist:   flat[i*n : (i+1)*n],
+			}
+		}
 	}
 	for i := 0; i < k; i++ {
-		out[i] = &DistMap{
-			Source: sources[i],
-			Cap:    caps[i],
-			dist:   flat[i*n : (i+1)*n],
-		}
 		if caps[i] > maxCap {
 			maxCap = caps[i]
 		}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/batchenum"
 	"repro/internal/graph"
+	"repro/internal/hcindex"
 	"repro/internal/query"
 	"repro/internal/timing"
 )
@@ -49,6 +50,14 @@ type Config struct {
 	// one worker reproduces the sequential engine's results and
 	// behaviour.
 	Workers int
+	// IndexCacheBytes bounds the cross-batch hop-distance-map cache
+	// shared by every micro-batch: online traffic hits popular endpoints
+	// repeatedly, so consecutive batches reuse each other's MS-BFS
+	// results instead of rebuilding them. Zero selects
+	// hcindex.DefaultCacheBytes; negative disables caching (each batch
+	// cold-builds through a pooled builder, which still recycles the
+	// dense arrays).
+	IndexCacheBytes int64
 	// OnBatch, when non-nil, is called with the stats of every completed
 	// batch, after its callers have been released. Calls are serialised.
 	OnBatch func(BatchStats)
@@ -89,6 +98,9 @@ type BatchStats struct {
 	WaitNanos int64
 	// EnumerateNanos is the engine wall time spent answering the batch.
 	EnumerateNanos int64
+	// IndexHits and IndexMisses count the batch's index probes (two per
+	// query) answered from the cross-batch cache vs built fresh.
+	IndexHits, IndexMisses int
 	// Phases is the engine's four-phase time decomposition.
 	Phases timing.Breakdown
 }
@@ -119,6 +131,21 @@ type Totals struct {
 	// WaitNanos and EnumerateNanos sum the per-batch wait and engine
 	// times.
 	WaitNanos, EnumerateNanos int64
+	// IndexHits and IndexMisses sum the per-batch index-cache probes;
+	// IndexWidened counts hits served from a wider-cap entry.
+	IndexHits, IndexMisses, IndexWidened int64
+	// IndexEvictions and IndexCacheBytes snapshot the cross-batch cache
+	// at the time Stats was called.
+	IndexEvictions, IndexCacheBytes int64
+}
+
+// IndexHitRatio is the fraction of index probes answered from the
+// cross-batch cache.
+func (t Totals) IndexHitRatio() float64 {
+	if t.IndexHits+t.IndexMisses == 0 {
+		return 0
+	}
+	return float64(t.IndexHits) / float64(t.IndexHits+t.IndexMisses)
 }
 
 // Reply carries one caller's results out of its batch.
@@ -147,6 +174,11 @@ type Service struct {
 	g, gr *graph.Graph
 	cfg   Config
 
+	// provider is the long-lived index provider every micro-batch runs
+	// through: one cross-batch cache (or pooled builder) shared for the
+	// service's lifetime.
+	provider hcindex.Provider
+
 	submit chan *request
 
 	// closing guards submit against send-after-close: Submit sends under
@@ -165,9 +197,16 @@ type Service struct {
 // New starts a service answering queries on g (gr is its precomputed
 // reverse). The caller must Close it to release the collector.
 func New(g, gr *graph.Graph, cfg Config) *Service {
+	var provider hcindex.Provider
+	if cfg.IndexCacheBytes < 0 {
+		provider = hcindex.NewBuilder(true)
+	} else {
+		provider = hcindex.NewCache(cfg.IndexCacheBytes) // 0 → default budget
+	}
 	s := &Service{
 		g: g, gr: gr, cfg: cfg,
-		submit: make(chan *request, cfg.maxBatch()),
+		provider: provider,
+		submit:   make(chan *request, cfg.maxBatch()),
 	}
 	s.wg.Add(1)
 	go s.collect()
@@ -212,11 +251,17 @@ func (s *Service) Submit(ctx context.Context, q query.Query, collect bool) (*Rep
 	}
 }
 
-// Stats returns a snapshot of the service's lifetime totals.
+// Stats returns a snapshot of the service's lifetime totals, including
+// the cross-batch index cache's current state.
 func (s *Service) Stats() Totals {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.totals
+	t := s.totals
+	s.mu.Unlock()
+	ps := s.provider.Stats()
+	t.IndexWidened = ps.Widened
+	t.IndexEvictions = ps.Evictions
+	t.IndexCacheBytes = ps.BytesInUse
+	return t
 }
 
 // Close dispatches any forming batch, waits for all in-flight batches to
@@ -300,9 +345,11 @@ func (s *Service) runBatch(batch []*request) {
 		}
 	})
 
+	engine := s.cfg.Engine
+	engine.Provider = s.provider
 	t0 := time.Now()
 	st, err := batchenum.RunParallel(s.g, s.gr, qs,
-		batchenum.ParallelOptions{Options: s.cfg.Engine, Workers: s.cfg.Workers}, sink)
+		batchenum.ParallelOptions{Options: engine, Workers: s.cfg.Workers}, sink)
 	if err != nil {
 		// Submit pre-validates, so this is systemic, not one query's
 		// fault; fail the whole batch.
@@ -320,6 +367,8 @@ func (s *Service) runBatch(batch []*request) {
 		SplicedPaths:   st.SplicedPaths,
 		WaitNanos:      dispatched.Sub(batch[0].enqueued).Nanoseconds(),
 		EnumerateNanos: time.Since(t0).Nanoseconds(),
+		IndexHits:      st.IndexHits,
+		IndexMisses:    st.IndexMisses,
 		Phases:         st.Phases,
 	}
 	for _, r := range batch {
@@ -340,6 +389,8 @@ func (s *Service) runBatch(batch []*request) {
 	s.totals.Paths += bs.Paths
 	s.totals.WaitNanos += bs.WaitNanos
 	s.totals.EnumerateNanos += bs.EnumerateNanos
+	s.totals.IndexHits += int64(bs.IndexHits)
+	s.totals.IndexMisses += int64(bs.IndexMisses)
 	s.mu.Unlock()
 
 	for _, r := range batch {

@@ -283,3 +283,50 @@ func pathKey(p []graph.VertexID) string {
 	}
 	return string(b)
 }
+
+// TestCrossBatchIndexCache: by default a service shares one index cache
+// across micro-batches, so repeating the same query in later batches
+// hits it; with a negative IndexCacheBytes every batch is all misses.
+func TestCrossBatchIndexCache(t *testing.T) {
+	q := query.Query{S: 0, T: 11, K: 5}
+	submit := func(s *Service) BatchStats {
+		r, err := s.Submit(context.Background(), q, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Batch
+	}
+
+	s, _ := paperService(t, Config{
+		MaxWait: time.Millisecond,
+		Engine:  batchenum.Options{Algorithm: batchenum.BatchPlus},
+	})
+	first := submit(s)
+	if first.IndexHits != 0 || first.IndexMisses != 2 {
+		t.Errorf("first batch: %d hits / %d misses, want 0/2", first.IndexHits, first.IndexMisses)
+	}
+	second := submit(s)
+	if second.IndexHits != 2 || second.IndexMisses != 0 {
+		t.Errorf("second batch: %d hits / %d misses, want 2/0", second.IndexHits, second.IndexMisses)
+	}
+	tot := s.Stats()
+	if tot.IndexHits != 2 || tot.IndexMisses != 2 {
+		t.Errorf("totals: %d hits / %d misses, want 2/2", tot.IndexHits, tot.IndexMisses)
+	}
+	if tot.IndexCacheBytes == 0 {
+		t.Error("cache bytes not reported")
+	}
+	if r := tot.IndexHitRatio(); r != 0.5 {
+		t.Errorf("hit ratio %.2f, want 0.50", r)
+	}
+
+	cold, _ := paperService(t, Config{
+		MaxWait:         time.Millisecond,
+		Engine:          batchenum.Options{Algorithm: batchenum.BatchPlus},
+		IndexCacheBytes: -1,
+	})
+	submit(cold)
+	if b := submit(cold); b.IndexHits != 0 || b.IndexMisses != 2 {
+		t.Errorf("uncached repeat batch: %d hits / %d misses, want 0/2", b.IndexHits, b.IndexMisses)
+	}
+}

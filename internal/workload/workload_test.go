@@ -146,3 +146,52 @@ func TestMeasureMuBounds(t *testing.T) {
 		t.Errorf("µ=%.3f outside [0,1]", mu)
 	}
 }
+
+// TestZipfian: the repeated-endpoint workload must draw every query
+// from a small hot pool, with the head of the popularity distribution
+// dominating, every query valid, and targets on the k-hop horizon.
+func TestZipfian(t *testing.T) {
+	g, _ := testGraph()
+	qs, err := Zipfian(g, ZipfianConfig{
+		Config: Config{N: 200, KMin: 3, KMax: 5, Seed: 7},
+		Hot:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 200 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	counts := make(map[query.Query]int)
+	for _, q := range qs {
+		if err := q.Validate(g); err != nil {
+			t.Fatal(err)
+		}
+		counts[q]++
+		dm := msbfs.Single(g, q.S, q.K)
+		if d := dm.Dist(q.T); d == msbfs.Unreachable {
+			t.Fatalf("%v: target unreachable within k", q)
+		}
+	}
+	if len(counts) > 8 {
+		t.Errorf("%d distinct queries, want ≤ Hot=8", len(counts))
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50 {
+		t.Errorf("head query drawn %d times out of 200; Zipf skew looks wrong", max)
+	}
+}
+
+// TestZipfianDegenerateGraph mirrors the GenErdosRenyi guard: a
+// too-small graph must error, not loop.
+func TestZipfianDegenerateGraph(t *testing.T) {
+	g := graph.FromEdges(1, nil)
+	if _, err := Zipfian(g, ZipfianConfig{Config: Config{N: 5, MaxTries: 10}}); err == nil {
+		t.Fatal("single-vertex graph accepted")
+	}
+}
