@@ -22,6 +22,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +44,8 @@ func main() {
 		gamma     = flag.Float64("gamma", 0.5, "clustering threshold γ")
 		countOnly = flag.Bool("count", false, "print per-query counts instead of paths")
 		maxHops   = flag.Int("maxhops", 15, "maximum accepted hop constraint")
+		limit     = flag.Int64("limit", 0, "max result paths per query (0 = unlimited)")
+		timeout   = flag.Duration("timeout", 0, "total enumeration deadline; replay: per-batch QueryTimeout (0 = none)")
 
 		replay   = flag.Bool("replay", false, "replay queries through the micro-batching service")
 		clients  = flag.Int("clients", 16, "replay: concurrent client goroutines")
@@ -81,8 +84,9 @@ func main() {
 			Algorithm:       algo,
 			Gamma:           *gamma,
 			MaxHops:         *maxHops,
+			Limit:           *limit,
 			IndexCacheBytes: cacheBytes,
-		}, *clients, *maxBatch, *maxWait, *verbose)
+		}, *clients, *maxBatch, *maxWait, *timeout, *verbose)
 		return
 	}
 
@@ -90,40 +94,69 @@ func main() {
 		Algorithm: algo,
 		Gamma:     *gamma,
 		MaxHops:   *maxHops,
+		Limit:     *limit,
 	})
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	t0 := time.Now()
 	if *countOnly {
-		counts, st, err := eng.Count(qs)
-		if err != nil {
+		counts, st, err := eng.CountContext(ctx, qs)
+		if err != nil && !cancellation(err) {
 			fail("%v", err)
 		}
 		for i, c := range counts {
 			fmt.Printf("q%d(s=%d,t=%d,k=%d): %d paths\n", i, qs[i].S, qs[i].T, qs[i].K, c)
 		}
+		reportPartial(st, err)
 		report(st, time.Since(t0))
 		return
 	}
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	st, err := eng.Stream(qs, func(i int, p hcpath.Path) {
+	st, err := eng.StreamContext(ctx, qs, func(i int, p hcpath.Path) {
 		fmt.Fprintf(w, "q%d: %s\n", i, p)
 	})
-	if err != nil {
+	if err != nil && !cancellation(err) {
 		fail("%v", err)
 	}
 	w.Flush()
+	reportPartial(st, err)
 	report(st, time.Since(t0))
+}
+
+// cancellation distinguishes a -timeout (or interrupt) cutting a run
+// short — partial results worth printing — from a validation or load
+// error, which aborts.
+func cancellation(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// reportPartial warns on stderr when the run was cut short — cancelled
+// by -timeout or truncated by -limit — so a partial listing is never
+// mistaken for the full result set.
+func reportPartial(st hcpath.Stats, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hcpath: enumeration stopped early: %v (%d queries truncated)\n", err, st.Truncated)
+	} else if st.Truncated > 0 {
+		fmt.Fprintf(os.Stderr, "hcpath: %d queries truncated at -limit\n", st.Truncated)
+	}
 }
 
 // runReplay pushes the query file through a Service from concurrent
 // client goroutines (client i replays queries i, i+clients, …) in count
 // mode, then reports batching and throughput statistics.
-func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients, maxBatch int, maxWait time.Duration, verbose bool) {
+func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients, maxBatch int, maxWait, queryTimeout time.Duration, verbose bool) {
 	svc := hcpath.NewService(g, &hcpath.ServiceOptions{
-		Options:  opts,
-		MaxBatch: maxBatch,
-		MaxWait:  maxWait,
+		Options:      opts,
+		MaxBatch:     maxBatch,
+		MaxWait:      maxWait,
+		QueryTimeout: queryTimeout,
 		OnBatch: func(b hcpath.BatchStats) {
 			if verbose {
 				fmt.Fprintf(os.Stderr,
@@ -140,7 +173,7 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients,
 	fmt.Fprintf(os.Stderr, "replay: %d clients, batches of ≤%d formed over ≤%v windows\n",
 		clients, maxBatch, maxWait)
 
-	var failed atomic.Int64
+	var failed, truncated atomic.Int64
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for c := 0; c < clients; c++ {
@@ -148,7 +181,11 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients,
 		go func(c int) {
 			defer wg.Done()
 			for i := c; i < len(qs); i += clients {
-				if _, _, err := svc.Count(context.Background(), qs[i]); err != nil {
+				switch _, _, err := svc.Count(context.Background(), qs[i]); {
+				case err == nil:
+				case errors.Is(err, hcpath.ErrLimitReached) || errors.Is(err, context.DeadlineExceeded):
+					truncated.Add(1) // partial count delivered, not a failure
+				default:
 					fmt.Fprintf(os.Stderr, "hcpath: query %d: %v\n", i, err)
 					failed.Add(1)
 				}
@@ -160,9 +197,9 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients,
 	svc.Close()
 
 	tot := svc.Totals()
-	fmt.Printf("replayed %d queries in %v (%.0f q/s), %d failed\n",
+	fmt.Printf("replayed %d queries in %v (%.0f q/s), %d failed, %d truncated (%d deadline batches)\n",
 		tot.Queries, elapsed.Round(time.Microsecond),
-		float64(tot.Queries)/elapsed.Seconds(), failed.Load())
+		float64(tot.Queries)/elapsed.Seconds(), failed.Load(), truncated.Load(), tot.DeadlineBatches)
 	fmt.Printf("%d batches (largest %d, mean %.1f queries/batch), %d paths\n",
 		tot.Batches, tot.LargestBatch,
 		float64(tot.Queries)/float64(max(tot.Batches, 1)), tot.Paths)

@@ -9,6 +9,7 @@ package hcpath
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -133,5 +134,202 @@ func TestServiceAndParallelMatchSequential(t *testing.T) {
 				diffQuery(t, label+"/service", i, want[i], got[i])
 			}
 		}
+	}
+}
+
+// TestLimitHitMatchesSequentialPrefix is the limit-hit equivalence
+// property: for all four algorithms on the whole corpus, sequential and
+// parallel runs under Options.Limit deliver min(limit, |P(q)|) distinct
+// members of the sequential full result set per query, with truncation
+// reported exactly for the queries that lost paths.
+func TestLimitHitMatchesSequentialPrefix(t *testing.T) {
+	const limit = 2
+	algorithms := []Algorithm{BatchEnumPlus, BatchEnum, BasicEnumPlus, BasicEnum}
+	for _, c := range equivalenceCorpus() {
+		gr := c.g.Reverse()
+		for _, alg := range algorithms {
+			label := fmt.Sprintf("%s/%v", c.name, alg)
+
+			full := query.NewCollectSink(len(c.qs))
+			if _, err := batchenum.Run(c.g, gr, c.qs,
+				batchenum.Options{Algorithm: alg.internal(), Gamma: 0.8}, full); err != nil {
+				t.Fatalf("%s: full run: %v", label, err)
+			}
+			fullSets := make([]map[string]bool, len(c.qs))
+			for i, ps := range full.Paths {
+				fullSets[i] = map[string]bool{}
+				for _, p := range ps {
+					fullSets[i][fmt.Sprint(p)] = true
+				}
+			}
+
+			qsPub := make([]Query, len(c.qs))
+			for i, q := range c.qs {
+				qsPub[i] = Query{S: q.S, T: q.T, K: int(q.K)}
+			}
+			for _, workers := range []int{0, 4} {
+				eng := NewEngine(&Graph{g: c.g, gr: gr},
+					&Options{Algorithm: alg, Gamma: 0.8, Workers: workers, Limit: limit})
+				res, err := eng.Enumerate(qsPub)
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", label, workers, err)
+				}
+				wantTrunc := 0
+				for i := range c.qs {
+					total := len(fullSets[i])
+					wantN := total
+					if limit < total {
+						wantN = limit
+						wantTrunc++
+					}
+					if res.Count(i) != wantN {
+						t.Errorf("%s workers=%d: query %d: %d paths, want %d of %d",
+							label, workers, i, res.Count(i), wantN, total)
+					}
+					seen := map[string]bool{}
+					for _, p := range res.Paths(i) {
+						k := fmt.Sprint([]graph.VertexID(p))
+						if !fullSets[i][k] || seen[k] {
+							t.Errorf("%s workers=%d: query %d: bogus or duplicate path %s",
+								label, workers, i, k)
+						}
+						seen[k] = true
+					}
+					if res.Truncated(i) != (limit < total) {
+						t.Errorf("%s workers=%d: query %d: Truncated=%v, want %v",
+							label, workers, i, res.Truncated(i), limit < total)
+					}
+				}
+				if res.Stats().Truncated != wantTrunc {
+					t.Errorf("%s workers=%d: Stats.Truncated=%d, want %d",
+						label, workers, res.Stats().Truncated, wantTrunc)
+				}
+			}
+		}
+	}
+}
+
+// TestServiceCancelledCallerDoesNotPoisonBatch is the isolation
+// property of the acceptance criteria: a heavy K=15 query on a dense
+// graph, cancelled by its own caller after 10ms, returns ctx.Err() in
+// well under 500ms while the queries co-batched with it complete with
+// exactly their full result sets.
+func TestServiceCancelledCallerDoesNotPoisonBatch(t *testing.T) {
+	g := denseGraph()
+
+	// Expected results of the light co-batched queries, from the
+	// offline sequential engine.
+	light := []Query{{S: 2, T: 3, K: 2}, {S: 4, T: 5, K: 2}, {S: 6, T: 7, K: 2}}
+	eng := NewEngine(g, nil)
+	wantRes, err := eng.Enumerate(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]string, len(light))
+	for i := range light {
+		for _, p := range wantRes.Paths(i) {
+			want[i] = append(want[i], fmt.Sprint([]graph.VertexID(p)))
+		}
+		sort.Strings(want[i])
+	}
+
+	// BasicEnum+ with 4 workers: each co-batched query runs on its own
+	// worker, so the heavy one cannot starve the light ones even on a
+	// small CI machine; QueryTimeout bounds the heavy enumeration so
+	// Close cannot hang.
+	svc := NewService(g, &ServiceOptions{
+		Options:      Options{Algorithm: BasicEnumPlus, Workers: 4},
+		MaxBatch:     len(light) + 1,
+		MaxWait:      50 * time.Millisecond, // window to co-batch all four
+		QueryTimeout: 2 * time.Second,
+	})
+	defer svc.Close()
+
+	var wg sync.WaitGroup
+	got := make([][]string, len(light))
+	gotErr := make([]error, len(light))
+	for i, q := range light {
+		wg.Add(1)
+		go func(i int, q Query) {
+			defer wg.Done()
+			paths, _, err := svc.Query(context.Background(), q)
+			gotErr[i] = err
+			for _, p := range paths {
+				got[i] = append(got[i], fmt.Sprint([]graph.VertexID(p)))
+			}
+			sort.Strings(got[i])
+		}(i, q)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, _, heavyErr := svc.Query(ctx, Query{S: 0, T: 1, K: 15})
+	heavyElapsed := time.Since(t0)
+	wg.Wait()
+
+	if !errors.Is(heavyErr, context.DeadlineExceeded) {
+		t.Fatalf("heavy query err = %v, want its ctx deadline error", heavyErr)
+	}
+	if heavyElapsed > 500*time.Millisecond {
+		t.Fatalf("cancelled caller took %v to detach, want well under 500ms", heavyElapsed)
+	}
+	for i := range light {
+		if gotErr[i] != nil {
+			t.Errorf("co-batched query %d failed: %v", i, gotErr[i])
+			continue
+		}
+		diffQuery(t, "co-batched", i, want[i], got[i])
+	}
+}
+
+// TestServiceQueryTimeoutPartialResults: with a tiny QueryTimeout, a
+// heavy query is answered with a partial (possibly empty) result set
+// and context.DeadlineExceeded rather than blocking forever, and the
+// service records the truncation.
+func TestServiceQueryTimeoutPartialResults(t *testing.T) {
+	g := denseGraph()
+	svc := NewService(g, &ServiceOptions{
+		Options:      Options{Algorithm: BatchEnumPlus},
+		QueryTimeout: 20 * time.Millisecond,
+	})
+	defer svc.Close()
+
+	t0 := time.Now()
+	count, bs, err := svc.Count(context.Background(), Query{S: 0, T: 1, K: 15})
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("deadline-bounded batch took %v", elapsed)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if count < 0 {
+		t.Fatalf("partial count = %d", count)
+	}
+	if bs.Truncated != 1 {
+		t.Fatalf("BatchStats.Truncated = %d, want 1", bs.Truncated)
+	}
+	if tot := svc.Totals(); tot.Truncated != 1 || tot.DeadlineBatches != 1 {
+		t.Fatalf("Totals truncated=%d deadlineBatches=%d, want 1/1", tot.Truncated, tot.DeadlineBatches)
+	}
+}
+
+// TestServiceLimitTruncation: Options.Limit through the service yields
+// exactly limit paths with ErrLimitReached alongside them.
+func TestServiceLimitTruncation(t *testing.T) {
+	g := testgraphs.CompleteDAG(7)
+	svc := NewService(&Graph{g: g, gr: g.Reverse()}, &ServiceOptions{
+		Options: Options{Limit: 5},
+	})
+	defer svc.Close()
+	paths, bs, err := svc.Query(context.Background(), Query{S: 0, T: 6, K: 6}) // 32 paths
+	if !errors.Is(err, ErrLimitReached) {
+		t.Fatalf("err = %v, want ErrLimitReached", err)
+	}
+	if len(paths) != 5 {
+		t.Fatalf("%d paths, want exactly 5", len(paths))
+	}
+	if bs.Truncated != 1 {
+		t.Fatalf("BatchStats.Truncated = %d, want 1", bs.Truncated)
 	}
 }

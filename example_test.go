@@ -1,0 +1,41 @@
+package hcpath_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	hcpath "repro"
+)
+
+// ExampleEngine_EnumerateContext bounds a query two ways at once: a
+// per-query result limit and a context deadline. The diamond-plus-chord
+// graph has three 0→3 paths within two hops; Limit 2 truncates the
+// result set to exactly two genuine paths and reports why.
+func ExampleEngine_EnumerateContext() {
+	g, err := hcpath.NewGraph(4, []hcpath.Edge{
+		{0, 1}, {1, 3}, {0, 2}, {2, 3}, {0, 3},
+	})
+	if err != nil {
+		panic(err)
+	}
+	eng := hcpath.NewEngine(g, &hcpath.Options{Limit: 2})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	res, err := eng.EnumerateContext(ctx, []hcpath.Query{{S: 0, T: 3, K: 2}})
+	if err != nil {
+		// Only cancellation surfaces here; limit truncation is reported
+		// per query below.
+		panic(err)
+	}
+
+	fmt.Println("paths delivered:", res.Count(0))
+	fmt.Println("truncated:", res.Truncated(0))
+	fmt.Println("limit reached:", errors.Is(res.Err(0), hcpath.ErrLimitReached))
+	// Output:
+	// paths delivered: 2
+	// truncated: true
+	// limit reached: true
+}

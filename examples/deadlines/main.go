@@ -1,0 +1,74 @@
+// Command deadlines demonstrates the partial-result machinery on an
+// adversarial workload: a dense random graph where a K=15 query has far
+// too many paths to enumerate, bounded three ways —
+//
+//  1. Options.Limit caps a query's delivered paths (offline engine),
+//  2. a context deadline cancels an offline enumeration mid-flight,
+//  3. ServiceOptions.QueryTimeout bounds every micro-batch of the
+//     online service, so one runaway query cannot hold a batch hostage.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	hcpath "repro"
+)
+
+func main() {
+	// A dense random graph: 400 vertices, ~20k edges. Hop-constrained
+	// path counts explode combinatorially here.
+	const n = 400
+	rng := rand.New(rand.NewSource(7))
+	var edges []hcpath.Edge
+	for i := 0; i < 20000; i++ {
+		edges = append(edges, hcpath.Edge{
+			Src: hcpath.VertexID(rng.Intn(n)),
+			Dst: hcpath.VertexID(rng.Intn(n)),
+		})
+	}
+	g, err := hcpath.NewGraph(n, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Result limit: ask for at most 10 paths of a query with an
+	// astronomical result set. The engine stops early, so this is fast.
+	eng := hcpath.NewEngine(g, &hcpath.Options{Limit: 10})
+	res, err := eng.Enumerate([]hcpath.Query{{S: 0, T: 1, K: 6}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("limit:    %d paths delivered, truncated=%v (%v)\n",
+		res.Count(0), res.Truncated(0), res.Err(0))
+
+	// 2. Deadline: give an unbounded K=15 enumeration 25ms. The count
+	// returned is a valid lower bound on the true result count.
+	unbounded := hcpath.NewEngine(g, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	counts, st, err := unbounded.CountContext(ctx, []hcpath.Query{{S: 0, T: 1, K: 15}})
+	fmt.Printf("deadline: stopped after %v with %v; %d paths counted so far, %d queries truncated\n",
+		time.Since(t0).Round(time.Millisecond), err, counts[0], st.Truncated)
+
+	// 3. Service QueryTimeout: the online layer bounds every batch.
+	svc := hcpath.NewService(g, &hcpath.ServiceOptions{
+		QueryTimeout: 50 * time.Millisecond,
+	})
+	defer svc.Close()
+	count, bs, err := svc.Count(context.Background(), hcpath.Query{S: 0, T: 1, K: 15})
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Printf("service:  batch deadline fired; partial count %d (batch truncated %d)\n",
+			count, bs.Truncated)
+	case err != nil:
+		panic(err)
+	default:
+		fmt.Printf("service:  completed with %d paths\n", count)
+	}
+}

@@ -24,6 +24,8 @@ package hcpath
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/batchenum"
@@ -53,16 +55,25 @@ type Query struct {
 // Path is one result: the vertex sequence from S to T.
 type Path []VertexID
 
-// String renders the path as (v0, v1, ..., vk) like the paper.
+// String renders the path as (v0, v1, ..., vk) like the paper. Paths
+// print in bulk (every result of a Stream), so the render is kept
+// allocation-lean: a strings.Builder sized for typical IDs instead of
+// quadratic string concatenation, and strconv.AppendUint instead of
+// per-vertex fmt formatting.
 func (p Path) String() string {
-	s := "("
+	var b strings.Builder
+	b.Grow(2 + 7*len(p)) // "v12345, " fits most IDs without a regrow
+	var num [20]byte
+	b.WriteByte('(')
 	for i, v := range p {
 		if i > 0 {
-			s += ", "
+			b.WriteString(", ")
 		}
-		s += fmt.Sprintf("v%d", v)
+		b.WriteByte('v')
+		b.Write(strconv.AppendUint(num[:0], uint64(v), 10))
 	}
-	return s + ")"
+	b.WriteByte(')')
+	return b.String()
 }
 
 // Len returns the number of hops (edges) of the path.
@@ -168,6 +179,16 @@ type Options struct {
 	// execution the emission order across queries is unspecified
 	// (per-query results are unaffected).
 	Workers int
+	// Limit, when positive, caps the result paths emitted per query: a
+	// query with more paths is truncated to exactly Limit results, its
+	// join/output loops stop early, and the run reports it through
+	// Stats.Truncated / Result.Truncated / Result.Err (ErrLimitReached).
+	// Limit bounds output volume, not enumeration time — the partial-path
+	// search that precedes the output phase does not know how many joins
+	// it will feed, so an adversarial query (large K on a dense graph)
+	// still needs a context deadline (EnumerateContext et al.) or a
+	// service QueryTimeout to bound its work.
+	Limit int64
 	// IndexCacheBytes controls the hop-distance-map cache of the index
 	// provider layer, which lets batches that repeat endpoints reuse
 	// each other's MS-BFS results (a cached entry also serves queries
@@ -237,18 +258,55 @@ type IndexCacheStats hcindex.Stats
 // HitRatio returns Hits / (Hits + Misses), zero when no probes ran.
 func (s IndexCacheStats) HitRatio() float64 { return hcindex.Stats(s).HitRatio() }
 
+// ErrLimitReached marks a query whose result set was truncated to
+// Options.Limit while more paths remained. It is reported per query
+// (Result.Err, Service.Query) — never as a run-level error, since one
+// batch can mix limit-hit and complete queries — and is distinct from
+// a context error, which means cancellation cut the query short at an
+// arbitrary point rather than at its limit.
+var ErrLimitReached = query.ErrLimitReached
+
 // Result holds the materialised paths of one batch, grouped by query
 // position.
 type Result struct {
 	paths [][]Path
+	qerr  []error // per-query truncation cause; nil entries = complete
 	stats Stats
 }
 
-// Paths returns the HC-s-t paths of the i-th query of the batch.
-func (r *Result) Paths(i int) []Path { return r.paths[i] }
+// Paths returns the HC-s-t paths of the i-th query of the batch, or nil
+// when i is not a valid query position.
+func (r *Result) Paths(i int) []Path {
+	if i < 0 || i >= len(r.paths) {
+		return nil
+	}
+	return r.paths[i]
+}
 
-// Count returns the number of paths of the i-th query.
-func (r *Result) Count(i int) int { return len(r.paths[i]) }
+// Count returns the number of paths of the i-th query, or zero when i
+// is not a valid query position.
+func (r *Result) Count(i int) int {
+	if i < 0 || i >= len(r.paths) {
+		return 0
+	}
+	return len(r.paths[i])
+}
+
+// Truncated reports whether the i-th query's result set was cut short
+// (by Options.Limit or by cancellation); Err says which. Out-of-range
+// positions report false.
+func (r *Result) Truncated(i int) bool { return r.Err(i) != nil }
+
+// Err explains the i-th query's truncation: nil for a complete result
+// set (and for out-of-range positions), ErrLimitReached when
+// Options.Limit cut it short, or the context's error when the run was
+// cancelled before the query finished.
+func (r *Result) Err(i int) error {
+	if i < 0 || i >= len(r.qerr) {
+		return nil
+	}
+	return r.qerr[i]
+}
 
 // TotalPaths returns the number of paths across the whole batch.
 func (r *Result) TotalPaths() int {
@@ -279,6 +337,10 @@ type Stats struct {
 	// query) answered from the provider's cross-batch cache vs built
 	// fresh; without a cache every probe is a miss.
 	IndexHits, IndexMisses int
+	// Truncated counts queries whose result sets were cut short — by
+	// Options.Limit or by cancellation. Zero means every result set in
+	// the run is complete; per-query causes are on Result.Err.
+	Truncated int
 }
 
 // convertQuery checks the hop constraint against the engine's cap before
@@ -317,17 +379,42 @@ func (e *Engine) options() batchenum.Options {
 	}
 }
 
-// run dispatches to the sequential or parallel engine per the options.
-func (e *Engine) run(qs []query.Query, sink query.Sink) (*batchenum.Stats, error) {
+// runControlled dispatches to the sequential or parallel engine per the
+// options, threading the run's Control into the enumeration loops.
+func (e *Engine) runControlled(qs []query.Query, ctrl *query.Control, sink query.Sink) (*batchenum.Stats, error) {
 	if e.opts.Workers != 0 {
 		workers := e.opts.Workers
 		if workers < 0 {
 			workers = 0 // RunParallel's GOMAXPROCS default
 		}
-		return batchenum.RunParallel(e.g.g, e.g.gr, qs,
-			batchenum.ParallelOptions{Options: e.options(), Workers: workers}, sink)
+		return batchenum.RunParallelControlled(e.g.g, e.g.gr, qs,
+			batchenum.ParallelOptions{Options: e.options(), Workers: workers}, ctrl, sink)
 	}
-	return batchenum.Run(e.g.g, e.g.gr, qs, e.options(), sink)
+	return batchenum.RunControlled(e.g.g, e.g.gr, qs, e.options(), ctrl, sink)
+}
+
+// control builds the Control governing one run over a batch of n
+// queries; nil when neither ctx nor Options.Limit can stop it early.
+func (e *Engine) control(ctx context.Context, n int) *query.Control {
+	return query.NewControl(ctx, time.Time{}, e.opts.Limit, n)
+}
+
+// queryErrs collects the batch's per-query truncation causes, nil when
+// every result set is complete.
+func queryErrs(ctrl *query.Control, n int) []error {
+	if ctrl == nil {
+		return nil
+	}
+	var errs []error
+	for i := 0; i < n; i++ {
+		if err := ctrl.QueryErr(i); err != nil {
+			if errs == nil {
+				errs = make([]error, n)
+			}
+			errs[i] = err
+		}
+	}
+	return errs
 }
 
 func statsOf(st *batchenum.Stats) Stats {
@@ -342,59 +429,93 @@ func statsOf(st *batchenum.Stats) Stats {
 		SplicedPaths:   st.SplicedPaths,
 		IndexHits:      st.IndexHits,
 		IndexMisses:    st.IndexMisses,
+		Truncated:      st.Truncated,
 	}
 }
 
 // Enumerate answers the batch and materialises every path. Result sets
-// grow exponentially with K; prefer Stream or Count for large K.
+// grow exponentially with K; prefer Stream or Count for large K, or
+// bound the output with Options.Limit.
 func (e *Engine) Enumerate(qs []Query) (*Result, error) {
+	return e.EnumerateContext(context.Background(), qs)
+}
+
+// EnumerateContext is Enumerate under a context: the enumeration loops
+// poll ctx and unwind promptly when it is cancelled or its deadline
+// passes. On cancellation it returns the partial Result it had built
+// alongside ctx's error — every contained path is a genuine result;
+// Result.Err tells per query whether its set is complete, truncated by
+// Options.Limit (ErrLimitReached), or cut off by the cancellation.
+// Limit truncation alone is not an error: the call returns nil with
+// Stats.Truncated set.
+func (e *Engine) EnumerateContext(ctx context.Context, qs []Query) (*Result, error) {
 	iqs, err := e.convert(qs)
 	if err != nil {
 		return nil, err
 	}
+	ctrl := e.control(ctx, len(qs))
 	res := &Result{paths: make([][]Path, len(qs))}
-	st, err := e.run(iqs, query.FuncSink(func(id int, p []graph.VertexID) {
+	st, err := e.runControlled(iqs, ctrl, query.FuncSink(func(id int, p []graph.VertexID) {
 		cp := make(Path, len(p))
 		copy(cp, p)
 		res.paths[id] = append(res.paths[id], cp)
 	}))
-	if err != nil {
-		return nil, err
+	if st == nil {
+		return nil, err // validation failure: no run happened
 	}
 	res.stats = statsOf(st)
-	return res, nil
+	res.qerr = queryErrs(ctrl, len(qs))
+	return res, err
 }
 
 // Stream answers the batch and calls emit once per result path with the
 // query's batch position. The path slice is reused between calls; copy
 // it to retain it.
 func (e *Engine) Stream(qs []Query, emit func(queryIndex int, path Path)) (Stats, error) {
+	return e.StreamContext(context.Background(), qs, emit)
+}
+
+// StreamContext is Stream under a context, with EnumerateContext's
+// cancellation semantics: every path emitted before the cancellation is
+// a genuine result, the returned error is ctx's, and Stats.Truncated
+// counts the queries whose streams were cut short.
+func (e *Engine) StreamContext(ctx context.Context, qs []Query, emit func(queryIndex int, path Path)) (Stats, error) {
 	iqs, err := e.convert(qs)
 	if err != nil {
 		return Stats{}, err
 	}
-	st, err := e.run(iqs, query.FuncSink(func(id int, p []graph.VertexID) {
+	ctrl := e.control(ctx, len(qs))
+	st, err := e.runControlled(iqs, ctrl, query.FuncSink(func(id int, p []graph.VertexID) {
 		emit(id, Path(p))
 	}))
-	if err != nil {
+	if st == nil {
 		return Stats{}, err
 	}
-	return statsOf(st), nil
+	return statsOf(st), err
 }
 
 // Count answers the batch returning only per-query result counts, the
 // cheapest mode for exponentially large result sets.
 func (e *Engine) Count(qs []Query) ([]int64, Stats, error) {
+	return e.CountContext(context.Background(), qs)
+}
+
+// CountContext is Count under a context, with EnumerateContext's
+// cancellation semantics: on cancellation the counts enumerated so far
+// are returned with ctx's error, and with Options.Limit set each count
+// saturates at the limit (Stats.Truncated tells how many did).
+func (e *Engine) CountContext(ctx context.Context, qs []Query) ([]int64, Stats, error) {
 	iqs, err := e.convert(qs)
 	if err != nil {
 		return nil, Stats{}, err
 	}
+	ctrl := e.control(ctx, len(qs))
 	sink := query.NewCountSink(len(qs))
-	st, err := e.run(iqs, sink)
-	if err != nil {
+	st, err := e.runControlled(iqs, ctrl, sink)
+	if st == nil {
 		return nil, Stats{}, err
 	}
-	return sink.Counts, statsOf(st), nil
+	return sink.Counts, statsOf(st), err
 }
 
 // BatchStats describes one micro-batch a Service dispatched: queries
@@ -429,6 +550,15 @@ type ServiceOptions struct {
 	// for company; zero means 2ms. Larger windows coalesce more
 	// concurrent queries (more sharing) at higher per-query latency.
 	MaxWait time.Duration
+	// QueryTimeout, when positive, bounds each micro-batch's engine
+	// time: a batch that exceeds it stops promptly, queries already
+	// finished keep their complete results, and the rest return their
+	// partial results with context.DeadlineExceeded. It is the
+	// service-side guard the paper's exponential result sets demand —
+	// one runaway K=15 query cannot hold its whole batch hostage.
+	// (Options.Limit bounds output volume the same way; a caller's own
+	// ctx cancels only that caller's wait, never the batch.)
+	QueryTimeout time.Duration
 	// OnBatch, when non-nil, observes every completed batch's stats;
 	// calls are serialised.
 	OnBatch func(BatchStats)
@@ -455,8 +585,10 @@ func NewService(g *Graph, opts *ServiceOptions) *Service {
 	}
 	return &Service{
 		svc: service.New(g.g, g.gr, service.Config{
-			MaxBatch: o.MaxBatch,
-			MaxWait:  o.MaxWait,
+			MaxBatch:     o.MaxBatch,
+			MaxWait:      o.MaxWait,
+			QueryTimeout: o.QueryTimeout,
+			Limit:        o.Limit,
 			Engine: batchenum.Options{
 				Algorithm: o.Algorithm.internal(),
 				Gamma:     o.Gamma,
@@ -473,6 +605,13 @@ func NewService(g *Graph, opts *ServiceOptions) *Service {
 // Query submits one query, blocks until its micro-batch completes (or
 // ctx is cancelled), and returns the query's paths plus the stats of the
 // batch that carried it.
+//
+// Cancelling ctx abandons only this caller's wait — the batch keeps
+// running and co-batched queries are unaffected. A non-nil error with
+// non-nil paths means a partial result set: ErrLimitReached when
+// Options.Limit truncated it, context.DeadlineExceeded when the
+// service's QueryTimeout stopped the batch first. Every returned path
+// is a genuine result either way.
 func (s *Service) Query(ctx context.Context, q Query) ([]Path, BatchStats, error) {
 	iq, err := convertQuery(q, -1, s.maxHops)
 	if err != nil {
@@ -486,11 +625,13 @@ func (s *Service) Query(ctx context.Context, q Query) ([]Path, BatchStats, error
 	for i, p := range r.Paths {
 		paths[i] = Path(p)
 	}
-	return paths, r.Batch, nil
+	return paths, r.Batch, r.Err
 }
 
 // Count is Query without materialising paths — the cheap mode, since
-// result counts grow exponentially with K.
+// result counts grow exponentially with K. Like Query, a non-nil
+// ErrLimitReached or context.DeadlineExceeded accompanies a partial
+// (lower-bound) count rather than replacing it.
 func (s *Service) Count(ctx context.Context, q Query) (int64, BatchStats, error) {
 	iq, err := convertQuery(q, -1, s.maxHops)
 	if err != nil {
@@ -500,7 +641,7 @@ func (s *Service) Count(ctx context.Context, q Query) (int64, BatchStats, error)
 	if err != nil {
 		return 0, BatchStats{}, err
 	}
-	return r.Count, r.Batch, nil
+	return r.Count, r.Batch, r.Err
 }
 
 // Totals returns a snapshot of the service's lifetime counters.

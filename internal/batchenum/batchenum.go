@@ -110,12 +110,30 @@ type Stats struct {
 	// query: forward and backward) answered from the provider's cache vs
 	// built fresh. A cold build is all misses.
 	IndexHits, IndexMisses int
+	// Truncated counts queries whose result sets were cut short — by a
+	// per-query emission limit or by cancellation mid-run. Zero means
+	// every emitted result set is complete.
+	Truncated int
 }
 
 // Run enumerates every HC-s-t path of every query in the batch with the
 // selected engine, emitting results through sink keyed by query ID.
 // Queries are assigned IDs positionally and validated first.
 func Run(g, gr *graph.Graph, queries []query.Query, opts Options, sink query.Sink) (*Stats, error) {
+	return RunControlled(g, gr, queries, opts, nil, sink)
+}
+
+// RunControlled is Run under a query.Control: the enumeration loops
+// poll ctrl for cancellation and charge emissions against the
+// per-query limit. On cancellation it stops promptly and returns the
+// partial stats alongside ctrl's cancellation error — everything
+// already emitted through sink is valid (each emitted path is a real
+// result; queries the engine did not finish are counted in
+// Stats.Truncated). Limit-truncated queries are not an error: the run
+// returns nil with Stats.Truncated set, and ctrl.QueryErr
+// distinguishes ErrLimitReached from cancellation per query. A nil
+// ctrl reproduces Run exactly.
+func RunControlled(g, gr *graph.Graph, queries []query.Query, opts Options, ctrl *query.Control, sink query.Sink) (*Stats, error) {
 	qs, err := query.Batch(g, queries)
 	if err != nil {
 		return nil, err
@@ -131,24 +149,33 @@ func Run(g, gr *graph.Graph, queries []query.Query, opts Options, sink query.Sin
 	defer idx.Release()
 	st.IndexHits, st.IndexMisses = idx.Hits, idx.Misses
 
-	if opts.Algorithm.Shared() {
-		runBatch(g, gr, qs, idx, opts, sink, st)
-	} else {
-		runBasic(g, gr, qs, idx, opts, sink, st)
+	if !ctrl.Cancelled() {
+		if opts.Algorithm.Shared() {
+			runBatch(g, gr, qs, idx, opts, ctrl, sink, st)
+		} else {
+			runBasic(g, gr, qs, idx, opts, ctrl, sink, st)
+		}
+	}
+	st.Truncated = ctrl.NumTruncated()
+	if ctrl.Cancelled() {
+		return st, ctrl.Err()
 	}
 	return st, nil
 }
 
 // runBasic is Algorithm 1: the index is shared across the batch, the
 // enumeration is per query.
-func runBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts Options, sink query.Sink, st *Stats) {
+func runBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts Options, ctrl *query.Control, sink query.Sink, st *Stats) {
 	defer st.Phases.Start(timing.Enumeration)()
 	penum := pathenum.Options{Optimized: opts.Algorithm.Optimized()}
 	for i, q := range qs {
+		if ctrl.Cancelled() {
+			return
+		}
 		id := q.ID
-		pathenum.Enumerate(g, gr, q,
+		pathenum.EnumerateControlled(g, gr, q,
 			idx.DistMapFor(i, hcindex.Forward), idx.DistMapFor(i, hcindex.Backward),
-			penum,
+			penum, ctrl,
 			func(p []graph.VertexID) { sink.Emit(id, p) })
 	}
 }
@@ -156,14 +183,17 @@ func runBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts Opt
 // runBatch is Algorithm 4: cluster, detect dominating HC-s path queries
 // per group and direction, enumerate Ψ in topological order with the
 // cache R, and join the halves of each HC-s-t query.
-func runBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts Options, sink query.Sink, st *Stats) {
+func runBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts Options, ctrl *query.Control, sink query.Sink, st *Stats) {
 	stop := st.Phases.Start(timing.ClusterQuery)
 	cl := cluster.ClusterQueries(idx, qs, opts.gamma())
 	stop()
 	st.NumGroups = cl.NumGroups()
 
 	for _, group := range cl.Groups {
-		processGroup(g, gr, qs, idx, group, opts, sink, st)
+		if ctrl.Cancelled() {
+			return
+		}
+		processGroup(g, gr, qs, idx, group, opts, ctrl, sink, st)
 	}
 }
 
@@ -180,7 +210,7 @@ func budgets(qs []query.Query, idx *hcindex.Index, qi int, optimized bool) (fb, 
 
 // processGroup runs detection, shared enumeration, and joining for one
 // cluster of queries.
-func processGroup(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, group []int, opts Options, sink query.Sink, st *Stats) {
+func processGroup(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, group []int, opts Options, ctrl *query.Control, sink query.Sink, st *Stats) {
 	optimized := opts.Algorithm.Optimized()
 
 	// Queries whose target is out of hop range have empty results and
@@ -189,6 +219,8 @@ func processGroup(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, grou
 	for _, qi := range group {
 		if idx.Reachable(qi, qs[qi]) {
 			live = append(live, qi)
+		} else {
+			ctrl.MarkComplete(qs[qi].ID) // provably empty result set
 		}
 	}
 	if len(live) == 0 {
@@ -218,12 +250,18 @@ func processGroup(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, grou
 	st.SharingEdges += psiF.NumEdges() + psiB.NumEdges()
 
 	defer st.Phases.Start(timing.Enumeration)()
-	fwdStores := enumerateGraph(g, psiF, len(live), optimized, st)
-	bwdStores := enumerateGraph(gr, psiB, len(live), optimized, st)
+	fwdStores := enumerateGraph(g, psiF, len(live), optimized, ctrl, st)
+	bwdStores := enumerateGraph(gr, psiB, len(live), optimized, ctrl, st)
+	if ctrl.Cancelled() {
+		return // partial Ψ stores must not reach the joins
+	}
 	// Backward halves of similar queries often alias one shared store;
 	// the probe-side hash index is built once per distinct store.
 	indexes := make(map[*pathjoin.Store]*pathjoin.HashIndex, len(live))
 	for i, qi := range live {
+		if ctrl.Cancelled() {
+			return
+		}
 		q := qs[qi]
 		id := q.ID
 		h := indexes[bwdStores[i]]
@@ -231,8 +269,11 @@ func processGroup(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, grou
 			h = pathjoin.BuildHashIndex(bwdStores[i])
 			indexes[bwdStores[i]] = h
 		}
-		pathjoin.JoinHalvesIndexed(fwdStores[i], h, q.K, backHeavy[i],
+		pathjoin.JoinHalvesIndexedControlled(fwdStores[i], h, q.K, backHeavy[i], ctrl, id,
 			func(p []graph.VertexID) { sink.Emit(id, p) })
+		if !ctrl.Cancelled() {
+			ctrl.MarkComplete(id)
+		}
 		// Halves are dead after the join; free them eagerly since path
 		// stores dominate the engine's footprint. Aliased stores stay
 		// alive through the index map until the group completes.
@@ -245,7 +286,7 @@ func processGroup(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, grou
 // of the first numTerminals nodes — the query halves. Shared-node stores
 // are evicted from the cache as soon as their last consumer finishes
 // (Alg. 4 lines 14-16).
-func enumerateGraph(g *graph.Graph, psi *sharegraph.Graph, numTerminals int, optimized bool, st *Stats) []*pathjoin.Store {
+func enumerateGraph(g *graph.Graph, psi *sharegraph.Graph, numTerminals int, optimized bool, ctrl *query.Control, st *Stats) []*pathjoin.Store {
 	cache := make(map[sharegraph.NodeID]*pathjoin.Store, psi.NumNodes())
 	pending := make(map[sharegraph.NodeID]int, psi.NumNodes())
 	for id := sharegraph.NodeID(0); int(id) < psi.NumNodes(); id++ {
@@ -253,10 +294,13 @@ func enumerateGraph(g *graph.Graph, psi *sharegraph.Graph, numTerminals int, opt
 	}
 	terminals := make([]*pathjoin.Store, numTerminals)
 	e := &enumerator{
-		g: g, psi: psi, cache: cache, optimized: optimized, st: st,
+		g: g, psi: psi, cache: cache, optimized: optimized, ctrl: ctrl, st: st,
 		spliceIdx: make(map[sharegraph.NodeID]*spliceIndex),
 	}
 	for _, id := range psi.TopoOrder() {
+		if e.stopped || ctrl.Cancelled() {
+			break // callers check ctrl before using the partial stores
+		}
 		out := pathjoin.NewStore(16, 64)
 		e.alias = nil
 		e.enumerateNode(id, out)
@@ -319,7 +363,13 @@ type enumerator struct {
 	psi       *sharegraph.Graph
 	cache     map[sharegraph.NodeID]*pathjoin.Store
 	optimized bool
+	ctrl      *query.Control
 	st        *Stats
+	// steps counts DFS expansions across the whole Ψ traversal; every
+	// query.PollInterval-th one polls ctrl, and stopped latches the
+	// answer so the unwind is branch-cheap.
+	steps   int
+	stopped bool
 
 	path    []graph.VertexID
 	onPath  []bool // dense per-vertex membership; push/pop keeps it clean
@@ -410,6 +460,9 @@ func (e *enumerator) enumerateNode(id sharegraph.NodeID, out *pathjoin.Store) {
 // dfs extends the current prefix one hop at a time, recording every
 // prefix (the join needs results of every length).
 func (e *enumerator) dfs() {
+	if e.ctrl.Poll(&e.steps, &e.stopped) {
+		return
+	}
 	e.out.Add(e.path)
 	depth := len(e.path) - 1
 	if depth >= int(e.node.Budget) {
@@ -422,6 +475,9 @@ func (e *enumerator) dfs() {
 		nbrs = e.scratch[depth]
 	}
 	for _, w := range nbrs {
+		if e.stopped {
+			return
+		}
 		if e.onPath[w] {
 			continue
 		}
@@ -465,6 +521,9 @@ func (e *enumerator) splice(prov sharegraph.NodeID, remaining int) {
 	maxLen := remaining + 1
 	prefixLen := len(e.path)
 	for gi, end := range si.ends {
+		if e.ctrl.Poll(&e.steps, &e.stopped) {
+			return
+		}
 		// Whole-group rejection: if even the group's shortest path ends
 		// too deep for this node's bound at its end vertex, none of the
 		// longer ones can survive either.

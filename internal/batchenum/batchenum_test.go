@@ -8,7 +8,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
-	"repro/internal/pathenum"
+	"repro/internal/oracle"
 	"repro/internal/query"
 	"repro/internal/sharegraph"
 	"repro/internal/testgraphs"
@@ -40,7 +40,7 @@ func bruteSet(g *graph.Graph, qs []query.Query) resultSet {
 	rs := resultSet{}
 	for i, q := range qs {
 		q.ID = i
-		pathenum.BruteForce(g, q, func(p []graph.VertexID) {
+		oracle.Enumerate(g, q, func(p []graph.VertexID) {
 			rs[i] = append(rs[i], pathKey(p))
 		})
 		sort.Strings(rs[i])

@@ -66,6 +66,17 @@ func (m *mergeSink) drain(buf *query.BufferSink) {
 // sets are identical to Run's; only the interleaving of Emit calls
 // differs, so order-sensitive sinks must sort or key by query ID.
 func RunParallel(g, gr *graph.Graph, queries []query.Query, opts ParallelOptions, sink query.Sink) (*Stats, error) {
+	return RunParallelControlled(g, gr, queries, opts, nil, sink)
+}
+
+// RunParallelControlled is RunParallel under a query.Control, with
+// RunControlled's semantics: every worker polls the shared ctrl inside
+// its enumeration loops, so cancellation stops the sibling workers of
+// every sharing group promptly — the dispatcher stops feeding jobs and
+// workers drain the remainder without touching them. Per-query limits
+// are safe because each query (or whole sharing group) is owned by one
+// worker. A nil ctrl reproduces RunParallel exactly.
+func RunParallelControlled(g, gr *graph.Graph, queries []query.Query, opts ParallelOptions, ctrl *query.Control, sink query.Sink) (*Stats, error) {
 	qs, err := query.Batch(g, queries)
 	if err != nil {
 		return nil, err
@@ -82,16 +93,22 @@ func RunParallel(g, gr *graph.Graph, queries []query.Query, opts ParallelOptions
 	defer idx.Release()
 	st.IndexHits, st.IndexMisses = idx.Hits, idx.Misses
 
-	if opts.Algorithm.Shared() {
-		parallelBatch(g, gr, qs, idx, opts, ms, st)
-	} else {
-		parallelBasic(g, gr, qs, idx, opts, ms, st)
+	if !ctrl.Cancelled() {
+		if opts.Algorithm.Shared() {
+			parallelBatch(g, gr, qs, idx, opts, ctrl, ms, st)
+		} else {
+			parallelBasic(g, gr, qs, idx, opts, ctrl, ms, st)
+		}
+	}
+	st.Truncated = ctrl.NumTruncated()
+	if ctrl.Cancelled() {
+		return st, ctrl.Err()
 	}
 	return st, nil
 }
 
 // parallelBasic fans individual queries out to the worker pool.
-func parallelBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts ParallelOptions, ms *mergeSink, st *Stats) {
+func parallelBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts ParallelOptions, ctrl *query.Control, ms *mergeSink, st *Stats) {
 	defer st.Phases.Start(timing.Enumeration)()
 	penum := pathenum.Options{Optimized: opts.Algorithm.Optimized()}
 	jobs := make(chan int)
@@ -102,11 +119,14 @@ func parallelBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 			defer wg.Done()
 			buf := &query.BufferSink{}
 			for i := range jobs {
+				if ctrl.Cancelled() {
+					continue // drain so the dispatcher can finish
+				}
 				q := qs[i]
 				id := q.ID
-				pathenum.Enumerate(g, gr, q,
+				pathenum.EnumerateControlled(g, gr, q,
 					idx.DistMapFor(i, hcindex.Forward), idx.DistMapFor(i, hcindex.Backward),
-					penum,
+					penum, ctrl,
 					func(p []graph.VertexID) {
 						buf.Emit(id, p)
 						if buf.Vertices() >= flushVertices {
@@ -118,6 +138,9 @@ func parallelBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 		}()
 	}
 	for i := range qs {
+		if ctrl.Cancelled() {
+			break
+		}
 		jobs <- i
 	}
 	close(jobs)
@@ -127,7 +150,7 @@ func parallelBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 // parallelBatch fans clustered groups out to the worker pool; each group
 // runs the full detect–enumerate–join pipeline independently. Group
 // stats are accumulated under a lock.
-func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts ParallelOptions, ms *mergeSink, st *Stats) {
+func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts ParallelOptions, ctrl *query.Control, ms *mergeSink, st *Stats) {
 	stop := st.Phases.Start(timing.ClusterQuery)
 	cl := cluster.ClusterQueries(idx, qs, opts.gamma())
 	stop()
@@ -149,8 +172,11 @@ func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 				}
 			})
 			for group := range jobs {
+				if ctrl.Cancelled() {
+					continue // drain so the dispatcher can finish
+				}
 				local := &Stats{}
-				processGroup(g, gr, qs, idx, group, opts.Options, sink, local)
+				processGroup(g, gr, qs, idx, group, opts.Options, ctrl, sink, local)
 				ms.drain(buf)
 				statsMu.Lock()
 				st.SharedNodes += local.SharedNodes
@@ -162,6 +188,9 @@ func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 		}()
 	}
 	for _, group := range cl.Groups {
+		if ctrl.Cancelled() {
+			break
+		}
 		jobs <- group
 	}
 	close(jobs)

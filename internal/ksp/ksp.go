@@ -90,20 +90,39 @@ func (q *labelQueue) Pop() interface{} {
 // remaining budget runs out, which is what makes the baseline slow.
 // It returns false if the budget was exhausted before completion.
 func OnePass(g, gr *graph.Graph, q query.Query, budget *Budget, emit func(path []graph.VertexID)) bool {
+	return OnePassControlled(g, gr, q, budget, nil, emit)
+}
+
+// OnePassControlled is OnePass under a query.Control: the expansion
+// loop polls for cancellation (returning false, like a blown budget)
+// and emissions are charged against q.ID's limit — since labels pop in
+// (hops, lexicographic) order, a limit of n yields exactly the n
+// canonically first paths, after which the run ends as complete. A nil
+// ctrl reproduces OnePass exactly.
+func OnePassControlled(g, gr *graph.Graph, q query.Query, budget *Budget, ctrl *query.Control, emit func(path []graph.VertexID)) bool {
 	distToT := msbfs.FullDistances(gr, q.T)
 	if distToT[q.S] == msbfs.Unreachable {
+		ctrl.MarkComplete(q.ID)
 		return true
 	}
 	pq := labelQueue{{path: []graph.VertexID{q.S}}}
 	heap.Init(&pq)
 	for pq.Len() > 0 {
+		if ctrl.Cancelled() {
+			return false
+		}
+		if ctrl.HitLimit(q.ID) {
+			break
+		}
 		if !budget.spend(1) {
 			return false
 		}
 		l := heap.Pop(&pq).(*label)
 		v := l.path[len(l.path)-1]
 		if v == q.T {
-			emit(l.path)
+			if ctrl.Allow(q.ID) {
+				emit(l.path)
+			}
 			continue // simple paths cannot extend beyond t and return
 		}
 		if uint8(len(l.path)-1) >= q.K {
@@ -122,6 +141,7 @@ func OnePass(g, gr *graph.Graph, q query.Query, budget *Budget, emit func(path [
 			heap.Push(&pq, &label{path: np})
 		}
 	}
+	ctrl.MarkComplete(q.ID)
 	return true
 }
 
@@ -168,11 +188,22 @@ func (q *candQueue) Pop() interface{} {
 // vertices removed. Generation stops once the next shortest candidate
 // exceeds the hop constraint. It returns false if the budget ran out.
 func DkSP(g *graph.Graph, q query.Query, budget *Budget, emit func(path []graph.VertexID)) bool {
+	return DkSPControlled(g, q, budget, nil, emit)
+}
+
+// DkSPControlled is DkSP under a query.Control: the deviation loop
+// polls for cancellation (returning false, like a blown budget) and
+// each accepted path is charged against q.ID's limit — outputs arrive
+// in (hops, lexicographic) order, so a limit of n yields exactly the n
+// canonically first paths and skips all further spur searches. A nil
+// ctrl reproduces DkSP exactly.
+func DkSPControlled(g *graph.Graph, q query.Query, budget *Budget, ctrl *query.Control, emit func(path []graph.VertexID)) bool {
 	first := maskedShortestPath(g, q.S, q.T, nil, nil, budget)
 	if budget.Exceeded() {
 		return false
 	}
 	if first == nil || uint8(len(first)-1) > q.K {
+		ctrl.MarkComplete(q.ID)
 		return true
 	}
 	var outputs [][]graph.VertexID
@@ -181,15 +212,24 @@ func DkSP(g *graph.Graph, q query.Query, budget *Budget, emit func(path []graph.
 	seen := map[string]bool{pathString(first): true}
 
 	for cands.Len() > 0 {
+		if ctrl.Cancelled() {
+			return false
+		}
 		p := heap.Pop(&cands).(*candidate).path
 		if uint8(len(p)-1) > q.K {
 			break // candidates only get longer
+		}
+		if !ctrl.Allow(q.ID) {
+			break // limit reached: drop this and all longer candidates
 		}
 		emit(p)
 		outputs = append(outputs, p)
 
 		// Spur: deviate from every prefix position of the accepted path.
 		for i := 0; i < len(p)-1; i++ {
+			if ctrl.Cancelled() {
+				return false
+			}
 			rootPrefix := p[:i+1]
 			spur := p[i]
 			// Edges leaving the spur that any previous output with the
@@ -226,6 +266,7 @@ func DkSP(g *graph.Graph, q query.Query, budget *Budget, emit func(path []graph.
 			}
 		}
 	}
+	ctrl.MarkComplete(q.ID)
 	return true
 }
 

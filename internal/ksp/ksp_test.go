@@ -7,7 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
-	"repro/internal/pathenum"
+	"repro/internal/oracle"
 	"repro/internal/query"
 	"repro/internal/testgraphs"
 )
@@ -71,7 +71,7 @@ func TestBaselinesMatchBruteForce(t *testing.T) {
 	for i, c := range cases {
 		gr := c.g.Reverse()
 		var want [][]graph.VertexID
-		pathenum.BruteForce(c.g, c.q, func(p []graph.VertexID) {
+		oracle.Enumerate(c.g, c.q, func(p []graph.VertexID) {
 			cp := make([]graph.VertexID, len(p))
 			copy(cp, p)
 			want = append(want, cp)

@@ -1,0 +1,80 @@
+// Package oracle holds the brute-force reference enumerator every
+// correctness test in the repository differentially checks against: an
+// unpruned, index-free bounded DFS whose only virtue is being obviously
+// correct. It is O(n^k) — tests and tiny graphs only.
+package oracle
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// Enumerate emits every simple S-T path of q with at most K hops, by
+// plain DFS over the adjacency with a visited map. The emitted slice is
+// reused between calls and must be copied to be retained.
+func Enumerate(g *graph.Graph, q query.Query, emit func(path []graph.VertexID)) {
+	path := make([]graph.VertexID, 1, int(q.K)+1)
+	path[0] = q.S
+	onPath := map[graph.VertexID]bool{q.S: true}
+	var rec func()
+	rec = func() {
+		v := path[len(path)-1]
+		if v == q.T && len(path) > 1 {
+			emit(path)
+			return // simple paths cannot revisit t
+		}
+		if uint8(len(path)-1) >= q.K {
+			return
+		}
+		for _, w := range g.OutNeighbors(v) {
+			if onPath[w] {
+				continue
+			}
+			path = append(path, w)
+			onPath[w] = true
+			rec()
+			onPath[w] = false
+			path = path[:len(path)-1]
+		}
+	}
+	rec()
+}
+
+// Count returns |P(q)| via Enumerate.
+func Count(g *graph.Graph, q query.Query) int64 {
+	var n int64
+	Enumerate(g, q, func([]graph.VertexID) { n++ })
+	return n
+}
+
+// Paths materialises the full result set in canonical (hops, then
+// lexicographic) order — the order the KSP baselines promise, and a
+// stable shape for set comparisons in differential tests.
+func Paths(g *graph.Graph, q query.Query) [][]graph.VertexID {
+	var out [][]graph.VertexID
+	Enumerate(g, q, func(p []graph.VertexID) {
+		cp := make([]graph.VertexID, len(p))
+		copy(cp, p)
+		out = append(out, cp)
+	})
+	SortPaths(out)
+	return out
+}
+
+// SortPaths orders paths by (hops, lexicographic) in place.
+func SortPaths(paths [][]graph.VertexID) {
+	sort.Slice(paths, func(i, j int) bool {
+		if len(paths[i]) != len(paths[j]) {
+			return len(paths[i]) < len(paths[j])
+		}
+		a, b := paths[i], paths[j]
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+}

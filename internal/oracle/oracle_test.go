@@ -1,0 +1,74 @@
+package oracle
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pathjoin"
+	"repro/internal/query"
+	"repro/internal/testgraphs"
+)
+
+func TestCountCompleteDAG(t *testing.T) {
+	g := testgraphs.CompleteDAG(7)
+	// paths 0→6 with ≤6 hops = 2^5 = 32 (any subset of {1..5} visited).
+	if got := Count(g, query.Query{S: 0, T: 6, K: 6}); got != 32 {
+		t.Fatalf("Count = %d, want 32", got)
+	}
+}
+
+func TestPathsCanonicalOrderAndValidity(t *testing.T) {
+	g := testgraphs.Diamond()
+	ps := Paths(g, query.Query{S: 0, T: 3, K: 3})
+	if len(ps) == 0 {
+		t.Fatal("diamond 0→3 has paths")
+	}
+	for i, p := range ps {
+		if p[0] != 0 || p[len(p)-1] != 3 {
+			t.Fatalf("path %d does not run s→t: %v", i, p)
+		}
+		if !pathjoin.IsSimple(p) {
+			t.Fatalf("path %d not simple: %v", i, p)
+		}
+		for j := 0; j+1 < len(p); j++ {
+			if !hasEdge(g, p[j], p[j+1]) {
+				t.Fatalf("path %d uses missing edge %d→%d", i, p[j], p[j+1])
+			}
+		}
+		if i > 0 && !ordered(ps[i-1], p) {
+			t.Fatalf("paths out of canonical order at %d: %v before %v", i, ps[i-1], p)
+		}
+	}
+	// No duplicates in the canonical listing.
+	seen := map[string]bool{}
+	for _, p := range ps {
+		k := fmt.Sprint(p)
+		if seen[k] {
+			t.Fatalf("duplicate path %v", p)
+		}
+		seen[k] = true
+	}
+}
+
+func hasEdge(g *graph.Graph, u, v graph.VertexID) bool {
+	for _, w := range g.OutNeighbors(u) {
+		if w == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ordered reports a ≤ b in (hops, lexicographic) order.
+func ordered(a, b []graph.VertexID) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return true
+}

@@ -12,8 +12,9 @@
 // neighbours in ascending residual-distance order so that doomed branches
 // are pruned before promising ones are explored.
 //
-// BruteForce is the specification: an index-free bounded DFS used as the
-// correctness oracle by every test in the repository.
+// The specification — an index-free bounded DFS — lives in
+// internal/oracle; every test in the repository differentially checks
+// against it.
 package pathenum
 
 import (
@@ -35,7 +36,18 @@ type Options struct {
 // Gr), emitting every HC-s-t path exactly once. The emitted slice is
 // reused and must be copied to be retained.
 func Enumerate(g, gr *graph.Graph, q query.Query, fwd, bwd *msbfs.DistMap, opts Options, emit func(path []graph.VertexID)) {
+	EnumerateControlled(g, gr, q, fwd, bwd, opts, nil, emit)
+}
+
+// EnumerateControlled is Enumerate under a query.Control: the half
+// DFSes poll for cancellation every query.PollInterval expansions and
+// the join honours the per-query emission limit, so a cancelled or
+// satisfied query unwinds promptly with whatever it has emitted. The
+// query's completion is recorded on ctrl (keyed by q.ID) unless the run
+// was cancelled mid-flight; a nil ctrl reproduces Enumerate exactly.
+func EnumerateControlled(g, gr *graph.Graph, q query.Query, fwd, bwd *msbfs.DistMap, opts Options, ctrl *query.Control, emit func(path []graph.VertexID)) {
 	if bwd.Dist(q.S) > q.K { // t unreachable within k hops: empty result
+		ctrl.MarkComplete(q.ID)
 		return
 	}
 	fb, bb := q.FwdBudget(), q.BwdBudget()
@@ -44,9 +56,15 @@ func Enumerate(g, gr *graph.Graph, q query.Query, fwd, bwd *msbfs.DistMap, opts 
 	}
 	fwdPaths := pathjoin.NewStore(64, 256)
 	bwdPaths := pathjoin.NewStore(64, 256)
-	collectHalf(g, q.S, fb, q.K, bwd, opts, fwdPaths)
-	collectHalf(gr, q.T, bb, q.K, fwd, opts, bwdPaths)
-	pathjoin.JoinHalves(fwdPaths, bwdPaths, q.K, fb < bb, emit)
+	collectHalf(g, q.S, fb, q.K, bwd, opts, ctrl, fwdPaths)
+	collectHalf(gr, q.T, bb, q.K, fwd, opts, ctrl, bwdPaths)
+	if ctrl.Cancelled() {
+		return // partial halves must not reach the join
+	}
+	pathjoin.JoinHalvesControlled(fwdPaths, bwdPaths, q.K, fb < bb, ctrl, q.ID, emit)
+	if !ctrl.Cancelled() {
+		ctrl.MarkComplete(q.ID)
+	}
 }
 
 // BalancedCut picks forward/backward budgets (a, b) with a+b = k
@@ -85,8 +103,9 @@ func levelCount(dm *msbfs.DistMap, d uint8) int {
 // it records every simple partial path from root with at most budget
 // hops, expanding only neighbours w with |p| + dist(w, other-endpoint)
 // < k (Lemma 3.1; other is the map of distances to the opposite
-// endpoint of the query).
-func collectHalf(g *graph.Graph, root graph.VertexID, budget, k uint8, other *msbfs.DistMap, opts Options, out *pathjoin.Store) {
+// endpoint of the query). The DFS polls ctrl every query.PollInterval
+// expansions and unwinds as soon as the run is cancelled.
+func collectHalf(g *graph.Graph, root graph.VertexID, budget, k uint8, other *msbfs.DistMap, opts Options, ctrl *query.Control, out *pathjoin.Store) {
 	path := make([]graph.VertexID, 1, int(budget)+1)
 	path[0] = root
 	// Dense on-path membership: one bool per vertex beats a hash map in
@@ -97,8 +116,13 @@ func collectHalf(g *graph.Graph, root graph.VertexID, budget, k uint8, other *ms
 	// slice so deeper levels cannot clobber a list the parent is still
 	// iterating.
 	scratch := make([][]graph.VertexID, int(budget)+1)
+	steps := 0
+	stopped := false
 	var rec func()
 	rec = func() {
+		if ctrl.Poll(&steps, &stopped) {
+			return
+		}
 		out.Add(path)
 		hops := uint8(len(path) - 1)
 		if hops >= budget {
@@ -111,6 +135,9 @@ func collectHalf(g *graph.Graph, root graph.VertexID, budget, k uint8, other *ms
 			nbrs = scratch[hops]
 		}
 		for _, w := range nbrs {
+			if stopped {
+				return
+			}
 			if onPath[w] {
 				continue
 			}
@@ -156,44 +183,6 @@ func EnumerateStandalone(g, gr *graph.Graph, q query.Query, opts Options, emit f
 	fwd := msbfs.Single(g, q.S, q.K)
 	bwd := msbfs.Single(gr, q.T, q.K)
 	Enumerate(g, gr, q, fwd, bwd, opts, emit)
-}
-
-// BruteForce enumerates all simple s-t paths with at most k hops by an
-// unpruned DFS. It is the correctness oracle: O(n^k), only for tests and
-// tiny graphs.
-func BruteForce(g *graph.Graph, q query.Query, emit func(path []graph.VertexID)) {
-	path := make([]graph.VertexID, 1, int(q.K)+1)
-	path[0] = q.S
-	onPath := map[graph.VertexID]bool{q.S: true}
-	var rec func()
-	rec = func() {
-		v := path[len(path)-1]
-		if v == q.T && len(path) > 1 {
-			emit(path)
-			return // simple paths cannot revisit t
-		}
-		if uint8(len(path)-1) >= q.K {
-			return
-		}
-		for _, w := range g.OutNeighbors(v) {
-			if onPath[w] {
-				continue
-			}
-			path = append(path, w)
-			onPath[w] = true
-			rec()
-			onPath[w] = false
-			path = path[:len(path)-1]
-		}
-	}
-	rec()
-}
-
-// CountBruteForce returns |P(q)| via BruteForce.
-func CountBruteForce(g *graph.Graph, q query.Query) int64 {
-	var n int64
-	BruteForce(g, q, func([]graph.VertexID) { n++ })
-	return n
 }
 
 // Materialized mimics the Fig. 3(c) measurement: given pre-enumerated

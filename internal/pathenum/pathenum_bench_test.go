@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/msbfs"
+	"repro/internal/oracle"
 	"repro/internal/query"
 )
 
@@ -72,6 +73,6 @@ func BenchmarkEnumerateStandalone(b *testing.B) {
 func BenchmarkBruteForce(b *testing.B) {
 	c := getCase(b)
 	for i := 0; i < b.N; i++ {
-		BruteForce(c.g, c.q, func([]graph.VertexID) {})
+		oracle.Enumerate(c.g, c.q, func([]graph.VertexID) {})
 	}
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/msbfs"
+	"repro/internal/oracle"
 	"repro/internal/pathjoin"
 	"repro/internal/query"
 	"repro/internal/testgraphs"
@@ -29,7 +30,7 @@ func enumStrings(g, gr *graph.Graph, q query.Query, opts Options) []string {
 
 func bruteStrings(g *graph.Graph, q query.Query) []string {
 	var out []string
-	BruteForce(g, q, func(p []graph.VertexID) {
+	oracle.Enumerate(g, q, func(p []graph.VertexID) {
 		out = append(out, fmt.Sprint(p))
 	})
 	return sorted(out)
@@ -185,14 +186,6 @@ func TestEnumerateWithSharedIndex(t *testing.T) {
 	Enumerate(g, gr, q, fwd, bwd, Options{}, func(p []graph.VertexID) { n++ })
 	if n != 2 {
 		t.Fatalf("q3 with oversized index: %d paths, want 2", n)
-	}
-}
-
-func TestCountBruteForce(t *testing.T) {
-	g := testgraphs.CompleteDAG(7)
-	// paths 0→6 with ≤6 hops = 2^5 = 32
-	if got := CountBruteForce(g, query.Query{S: 0, T: 6, K: 6}); got != 32 {
-		t.Fatalf("CountBruteForce = %d, want 32", got)
 	}
 }
 

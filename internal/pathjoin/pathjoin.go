@@ -18,6 +18,7 @@ package pathjoin
 
 import (
 	"repro/internal/graph"
+	"repro/internal/query"
 )
 
 // Store is an append-only arena of paths. The zero value is ready to use.
@@ -136,12 +137,35 @@ func JoinHalves(fwd, bwd *Store, k uint8, backHeavy bool, emit func(path []graph
 	JoinHalvesIndexed(fwd, BuildHashIndex(bwd), k, backHeavy, emit)
 }
 
+// JoinHalvesControlled is JoinHalves under a query.Control: emissions
+// are charged against query qid's limit and the probe loop polls for
+// cancellation, so a satisfied or cancelled query stops joining
+// promptly. A nil ctrl reproduces JoinHalves exactly.
+func JoinHalvesControlled(fwd, bwd *Store, k uint8, backHeavy bool, ctrl *query.Control, qid int, emit func(path []graph.VertexID)) {
+	JoinHalvesIndexedControlled(fwd, BuildHashIndex(bwd), k, backHeavy, ctrl, qid, emit)
+}
+
 // JoinHalvesIndexed is JoinHalves with a prebuilt backward-side index.
 // Batch engines reuse one index across every query whose backward half
 // aliases the same shared store, instead of rebuilding it per query.
 func JoinHalvesIndexed(fwd *Store, h *HashIndex, k uint8, backHeavy bool, emit func(path []graph.VertexID)) {
+	JoinHalvesIndexedControlled(fwd, h, k, backHeavy, nil, 0, emit)
+}
+
+// JoinHalvesIndexedControlled is JoinHalvesIndexed under a
+// query.Control (see JoinHalvesControlled). Every emission first
+// reserves a slot on qid's limit; the first refusal ends the join, so
+// the engine learns the result set was truncated (one probe past the
+// limit) without enumerating the rest.
+func JoinHalvesIndexedControlled(fwd *Store, h *HashIndex, k uint8, backHeavy bool, ctrl *query.Control, qid int, emit func(path []graph.VertexID)) {
 	buf := make([]graph.VertexID, 0, int(k)+1)
 	for i := 0; i < fwd.Len(); i++ {
+		if ctrl.HitLimit(qid) {
+			return
+		}
+		if i&(query.PollInterval-1) == query.PollInterval-1 && ctrl.Cancelled() {
+			return
+		}
 		pf := fwd.Path(i)
 		a := len(pf) - 1
 		meet := pf[len(pf)-1]
@@ -154,7 +178,13 @@ func JoinHalvesIndexed(fwd *Store, h *HashIndex, k uint8, backHeavy bool, emit f
 				continue
 			}
 			h.Probe(meet, b, func(pb []graph.VertexID) {
+				if ctrl.HitLimit(qid) {
+					return // drain the bucket without emitting
+				}
 				if !DisjointExceptMeet(pf, pb) {
+					return
+				}
+				if !ctrl.Allow(qid) {
 					return
 				}
 				buf = buf[:0]

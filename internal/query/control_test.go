@@ -1,0 +1,124 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestNewControlNilWhenUnstoppable(t *testing.T) {
+	if c := NewControl(context.Background(), time.Time{}, 0, 4); c != nil {
+		t.Fatalf("background ctx, no deadline, no limit: want nil Control, got %+v", c)
+	}
+	if c := NewControl(nil, time.Time{}, 0, 4); c != nil {
+		t.Fatalf("nil ctx: want nil Control, got %+v", c)
+	}
+	if c := NewControl(context.Background(), time.Now().Add(time.Hour), 0, 4); c == nil {
+		t.Fatal("deadline set: want non-nil Control")
+	}
+	if c := NewControl(context.Background(), time.Time{}, 3, 4); c == nil {
+		t.Fatal("limit set: want non-nil Control")
+	}
+}
+
+func TestNilControlNoOps(t *testing.T) {
+	var c *Control
+	if c.Cancelled() || c.Err() != nil || c.HitLimit(0) || c.Truncated(0) ||
+		c.QueryErr(0) != nil || c.NumTruncated() != 0 {
+		t.Fatal("nil Control must behave as run-to-completion")
+	}
+	if !c.Allow(0) {
+		t.Fatal("nil Control must allow every emission")
+	}
+	c.MarkComplete(0) // must not panic
+}
+
+func TestControlCancellationLatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewControl(ctx, time.Time{}, 5, 2)
+	if c.Cancelled() {
+		t.Fatal("cancelled before ctx fired")
+	}
+	if c.Err() != nil {
+		t.Fatalf("Err before cancellation = %v", c.Err())
+	}
+	cancel()
+	if !c.Cancelled() {
+		t.Fatal("not cancelled after ctx fired")
+	}
+	if !errors.Is(c.Err(), context.Canceled) {
+		t.Fatalf("Err = %v, want context.Canceled", c.Err())
+	}
+	// Latched: still cancelled on re-check.
+	if !c.Cancelled() {
+		t.Fatal("cancellation did not latch")
+	}
+}
+
+func TestControlDeadline(t *testing.T) {
+	c := NewControl(context.Background(), time.Now().Add(-time.Millisecond), 0, 1)
+	if !c.Cancelled() {
+		t.Fatal("past deadline not detected")
+	}
+	if !errors.Is(c.Err(), context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", c.Err())
+	}
+}
+
+func TestControlLimitSemantics(t *testing.T) {
+	c := NewControl(context.Background(), time.Time{}, 2, 2)
+	// Query 0: exactly at the limit — never refused, never truncated.
+	if !c.Allow(0) || !c.Allow(0) {
+		t.Fatal("emissions within the limit refused")
+	}
+	c.MarkComplete(0)
+	if c.HitLimit(0) || c.Truncated(0) || c.QueryErr(0) != nil {
+		t.Fatal("a query with exactly limit paths must not be truncated")
+	}
+
+	// Query 1: one refusal past the limit — truncated with ErrLimitReached.
+	c.Allow(1)
+	c.Allow(1)
+	if c.Allow(1) {
+		t.Fatal("third emission beyond limit 2 allowed")
+	}
+	c.MarkComplete(1) // engines finish a limit-hit query deliberately
+	if !c.HitLimit(1) || !c.Truncated(1) {
+		t.Fatal("refused query not reported truncated")
+	}
+	if !errors.Is(c.QueryErr(1), ErrLimitReached) {
+		t.Fatalf("QueryErr = %v, want ErrLimitReached", c.QueryErr(1))
+	}
+	if got := c.NumTruncated(); got != 1 {
+		t.Fatalf("NumTruncated = %d, want 1", got)
+	}
+}
+
+func TestControlCancellationTruncatesIncompleteOnly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewControl(ctx, time.Time{}, 0, 2)
+	c.Allow(0)
+	c.MarkComplete(0) // finished before the cancel
+	cancel()
+	c.Cancelled() // latch
+	if c.Truncated(0) || c.QueryErr(0) != nil {
+		t.Fatal("query completed before cancellation must stay complete")
+	}
+	if !c.Truncated(1) {
+		t.Fatal("unfinished query not truncated by cancellation")
+	}
+	if !errors.Is(c.QueryErr(1), context.Canceled) {
+		t.Fatalf("QueryErr = %v, want context.Canceled", c.QueryErr(1))
+	}
+	if got := c.NumTruncated(); got != 1 {
+		t.Fatalf("NumTruncated = %d, want 1", got)
+	}
+}
+
+func TestPollIntervalPowerOfTwo(t *testing.T) {
+	// Hot loops rely on steps&(PollInterval-1) masking.
+	if PollInterval <= 0 || PollInterval&(PollInterval-1) != 0 {
+		t.Fatalf("PollInterval = %d, want a power of two", PollInterval)
+	}
+}

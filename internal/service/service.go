@@ -50,6 +50,22 @@ type Config struct {
 	// one worker reproduces the sequential engine's results and
 	// behaviour.
 	Workers int
+	// QueryTimeout, when positive, bounds each micro-batch's engine
+	// time: the batch runs under a deadline of dispatch time plus
+	// QueryTimeout (every query in a batch dispatched within one MaxWait
+	// window, so one per-batch deadline realises the per-query promise).
+	// A batch that blows its deadline stops promptly; callers whose
+	// queries were finished receive their complete results, the rest
+	// receive what was enumerated with Reply.Err set to
+	// context.DeadlineExceeded. Co-batched queries are never poisoned:
+	// a truncated neighbour only ever loses its own tail.
+	QueryTimeout time.Duration
+	// Limit, when positive, caps the result paths delivered per query;
+	// a query with more is truncated to exactly Limit paths with
+	// Reply.Truncated set and Reply.Err = query.ErrLimitReached. Limit
+	// bounds output volume only — pair it with QueryTimeout to also
+	// bound enumeration time.
+	Limit int64
 	// IndexCacheBytes bounds the cross-batch hop-distance-map cache
 	// shared by every micro-batch: online traffic hits popular endpoints
 	// repeatedly, so consecutive batches reuse each other's MS-BFS
@@ -101,6 +117,9 @@ type BatchStats struct {
 	// IndexHits and IndexMisses count the batch's index probes (two per
 	// query) answered from the cross-batch cache vs built fresh.
 	IndexHits, IndexMisses int
+	// Truncated counts the batch's queries with cut-short result sets
+	// (per-query limit reached, or the batch deadline fired first).
+	Truncated int
 	// Phases is the engine's four-phase time decomposition.
 	Phases timing.Breakdown
 }
@@ -137,6 +156,10 @@ type Totals struct {
 	// IndexEvictions and IndexCacheBytes snapshot the cross-batch cache
 	// at the time Stats was called.
 	IndexEvictions, IndexCacheBytes int64
+	// Truncated counts queries answered with cut-short result sets, and
+	// DeadlineBatches the batches stopped by their QueryTimeout
+	// deadline.
+	Truncated, DeadlineBatches int64
 }
 
 // IndexHitRatio is the fraction of index probes answered from the
@@ -155,6 +178,13 @@ type Reply struct {
 	Paths [][]graph.VertexID
 	// Count is the caller's result-path count (also set when collecting).
 	Count int64
+	// Truncated reports that this query's result set was cut short; Err
+	// says why. Every delivered path is still a genuine result.
+	Truncated bool
+	// Err is nil for a complete result set, query.ErrLimitReached when
+	// Config.Limit truncated it, or context.DeadlineExceeded when the
+	// batch's QueryTimeout deadline fired before the query finished.
+	Err error
 	// Batch describes the batch that answered the query.
 	Batch BatchStats
 }
@@ -348,16 +378,27 @@ func (s *Service) runBatch(batch []*request) {
 	engine := s.cfg.Engine
 	engine.Provider = s.provider
 	t0 := time.Now()
-	st, err := batchenum.RunParallel(s.g, s.gr, qs,
-		batchenum.ParallelOptions{Options: engine, Workers: s.cfg.Workers}, sink)
-	if err != nil {
+	var deadline time.Time
+	if s.cfg.QueryTimeout > 0 {
+		deadline = t0.Add(s.cfg.QueryTimeout)
+	}
+	ctrl := query.NewControl(context.Background(), deadline, s.cfg.Limit, len(batch))
+	st, err := batchenum.RunParallelControlled(s.g, s.gr, qs,
+		batchenum.ParallelOptions{Options: engine, Workers: s.cfg.Workers}, ctrl, sink)
+	if err != nil && !ctrl.Cancelled() {
 		// Submit pre-validates, so this is systemic, not one query's
-		// fault; fail the whole batch.
+		// fault; fail the whole batch. (A blown QueryTimeout deadline is
+		// not systemic: the batch resolves below with partial results
+		// and per-query errors.)
 		err = fmt.Errorf("service: batch of %d failed: %w", len(batch), err)
 		for _, r := range batch {
 			r.done <- err
 		}
 		return
+	}
+	for i, r := range batch {
+		r.reply.Truncated = ctrl.Truncated(i)
+		r.reply.Err = ctrl.QueryErr(i)
 	}
 
 	bs := BatchStats{
@@ -369,6 +410,7 @@ func (s *Service) runBatch(batch []*request) {
 		EnumerateNanos: time.Since(t0).Nanoseconds(),
 		IndexHits:      st.IndexHits,
 		IndexMisses:    st.IndexMisses,
+		Truncated:      st.Truncated,
 		Phases:         st.Phases,
 	}
 	for _, r := range batch {
@@ -391,6 +433,10 @@ func (s *Service) runBatch(batch []*request) {
 	s.totals.EnumerateNanos += bs.EnumerateNanos
 	s.totals.IndexHits += int64(bs.IndexHits)
 	s.totals.IndexMisses += int64(bs.IndexMisses)
+	s.totals.Truncated += int64(bs.Truncated)
+	if ctrl.Err() == context.DeadlineExceeded {
+		s.totals.DeadlineBatches++
+	}
 	s.mu.Unlock()
 
 	for _, r := range batch {

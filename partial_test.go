@@ -1,0 +1,192 @@
+package hcpath
+
+// Partial-result semantics of the public API: deadlines unwind the
+// enumeration loops promptly, Options.Limit truncates to exactly the
+// requested number of genuine results, and out-of-range Result lookups
+// degrade to zero values instead of panicking.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/query"
+	"repro/internal/testgraphs"
+)
+
+// denseGraph returns a dense random graph whose K=15 queries have
+// astronomically many paths — enumeration to completion is infeasible,
+// which is exactly what the cancellation tests need.
+func denseGraph() *Graph {
+	return wrap(graph.GenErdosRenyi(400, 20000, 42))
+}
+
+// TestCancelledEnumerationReturnsQuickly is the acceptance bound: a
+// K=15 query on a dense graph, cancelled after 10ms, must return the
+// context's error in well under 500ms for every algorithm, sequential
+// and parallel.
+func TestCancelledEnumerationReturnsQuickly(t *testing.T) {
+	g := denseGraph()
+	qs := []Query{{S: 0, T: 1, K: 15}}
+	for _, alg := range []Algorithm{BatchEnumPlus, BatchEnum, BasicEnumPlus, BasicEnum} {
+		for _, workers := range []int{0, 4} {
+			t.Run(fmt.Sprintf("%v/workers=%d", alg, workers), func(t *testing.T) {
+				eng := NewEngine(g, &Options{Algorithm: alg, Workers: workers})
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				defer cancel()
+				t0 := time.Now()
+				counts, st, err := eng.CountContext(ctx, qs)
+				elapsed := time.Since(t0)
+				if elapsed > 500*time.Millisecond {
+					t.Fatalf("cancelled enumeration took %v, want < 500ms", elapsed)
+				}
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+				}
+				if counts == nil {
+					t.Fatal("partial counts not returned alongside the context error")
+				}
+				if st.Truncated != 1 {
+					t.Fatalf("Stats.Truncated = %d, want 1", st.Truncated)
+				}
+			})
+		}
+	}
+}
+
+// TestCancelledStreamEmitsOnlyGenuinePaths cancels mid-stream and
+// checks every path already emitted is a real result.
+func TestCancelledStreamEmitsOnlyGenuinePaths(t *testing.T) {
+	g := testgraphs.CompleteDAG(7)
+	oracleSet := map[string]bool{}
+	oracle.Enumerate(g, query.Query{S: 0, T: 6, K: 6}, func(p []graph.VertexID) {
+		oracleSet[fmt.Sprint(p)] = true
+	})
+	eng := NewEngine(&Graph{g: g, gr: g.Reverse()}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	emitted := 0
+	_, err := eng.StreamContext(ctx, []Query{{S: 0, T: 6, K: 6}}, func(i int, p Path) {
+		if !oracleSet[fmt.Sprint([]graph.VertexID(p))] {
+			t.Fatalf("emitted non-result %v", p)
+		}
+		emitted++
+		cancel()
+	})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled or nil", err)
+	}
+	if emitted == 0 {
+		t.Fatal("stream emitted nothing before the cancel")
+	}
+}
+
+// TestLimitYieldsExactlyN is the acceptance check for Options.Limit:
+// exactly n paths, Stats.Truncated set, per-query ErrLimitReached, and
+// every delivered path genuine.
+func TestLimitYieldsExactlyN(t *testing.T) {
+	g := testgraphs.CompleteDAG(7)
+	q := query.Query{S: 0, T: 6, K: 6} // 32 paths
+	oracleSet := map[string]bool{}
+	oracle.Enumerate(g, q, func(p []graph.VertexID) { oracleSet[fmt.Sprint(p)] = true })
+
+	for _, alg := range []Algorithm{BatchEnumPlus, BatchEnum, BasicEnumPlus, BasicEnum} {
+		for _, workers := range []int{0, 4} {
+			t.Run(fmt.Sprintf("%v/workers=%d", alg, workers), func(t *testing.T) {
+				const n = 5
+				eng := NewEngine(&Graph{g: g, gr: g.Reverse()},
+					&Options{Algorithm: alg, Workers: workers, Limit: n})
+				res, err := eng.Enumerate([]Query{{S: 0, T: 6, K: 6}})
+				if err != nil {
+					t.Fatalf("limit truncation must not be a run error: %v", err)
+				}
+				if got := res.Count(0); got != n {
+					t.Fatalf("Count = %d, want exactly %d", got, n)
+				}
+				seen := map[string]bool{}
+				for _, p := range res.Paths(0) {
+					k := fmt.Sprint([]graph.VertexID(p))
+					if !oracleSet[k] {
+						t.Fatalf("delivered non-result %s", k)
+					}
+					if seen[k] {
+						t.Fatalf("delivered duplicate %s", k)
+					}
+					seen[k] = true
+				}
+				if res.Stats().Truncated != 1 {
+					t.Fatalf("Stats.Truncated = %d, want 1", res.Stats().Truncated)
+				}
+				if !res.Truncated(0) || !errors.Is(res.Err(0), ErrLimitReached) {
+					t.Fatalf("Truncated=%v Err=%v, want true/ErrLimitReached", res.Truncated(0), res.Err(0))
+				}
+			})
+		}
+	}
+}
+
+// TestLimitNotHitIsComplete: a limit equal to the exact result count is
+// never reported as truncation.
+func TestLimitNotHitIsComplete(t *testing.T) {
+	g := testgraphs.CompleteDAG(7)
+	eng := NewEngine(&Graph{g: g, gr: g.Reverse()}, &Options{Limit: 32})
+	res, err := eng.Enumerate([]Query{{S: 0, T: 6, K: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count(0) != 32 || res.Stats().Truncated != 0 || res.Truncated(0) || res.Err(0) != nil {
+		t.Fatalf("limit == |P(q)|: count=%d truncated=%d err=%v, want complete",
+			res.Count(0), res.Stats().Truncated, res.Err(0))
+	}
+}
+
+// TestCountContextSaturatesAtLimit: count mode honours the same budget.
+func TestCountContextSaturatesAtLimit(t *testing.T) {
+	g := testgraphs.CompleteDAG(7)
+	eng := NewEngine(&Graph{g: g, gr: g.Reverse()}, &Options{Limit: 7})
+	counts, st, err := eng.Count([]Query{{S: 0, T: 6, K: 6}, {S: 0, T: 6, K: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 7 {
+		t.Fatalf("counts[0] = %d, want saturation at 7", counts[0])
+	}
+	if counts[1] != 1 { // the single direct edge, below the limit
+		t.Fatalf("counts[1] = %d, want 1", counts[1])
+	}
+	if st.Truncated != 1 {
+		t.Fatalf("Stats.Truncated = %d, want 1", st.Truncated)
+	}
+}
+
+// TestResultBounds is the regression test for out-of-range query
+// positions: nil/zero instead of a panic.
+func TestResultBounds(t *testing.T) {
+	g := testgraphs.Diamond()
+	eng := NewEngine(&Graph{g: g, gr: g.Reverse()}, nil)
+	res, err := eng.Enumerate([]Query{{S: 0, T: 3, K: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count(0) == 0 {
+		t.Fatal("sanity: query 0 has paths")
+	}
+	for _, i := range []int{-1, 1, 99} {
+		if got := res.Paths(i); got != nil {
+			t.Errorf("Paths(%d) = %v, want nil", i, got)
+		}
+		if got := res.Count(i); got != 0 {
+			t.Errorf("Count(%d) = %d, want 0", i, got)
+		}
+		if res.Truncated(i) {
+			t.Errorf("Truncated(%d) = true, want false", i)
+		}
+		if got := res.Err(i); got != nil {
+			t.Errorf("Err(%d) = %v, want nil", i, got)
+		}
+	}
+}
