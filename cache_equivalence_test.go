@@ -86,7 +86,7 @@ func TestCacheWideningMatchesCold(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			cache.Acquire(c.g, gr, wq).Release()
+			cache.Acquire(c.g, gr, 0, wq).Release()
 
 			want := runWith(t, c, gr, alg, nil)
 			for i, got := range runWith(t, c, gr, alg, cache) {

@@ -1,0 +1,239 @@
+// Command benchdiff is the perf-regression gate: it converts `go test
+// -bench` output into a committed JSON baseline and compares a fresh
+// run against it, failing when any benchmark regresses past a
+// threshold.
+//
+//	go test -run '^$' -bench 'Engines' -benchtime=200ms -count=3 . | tee bench.txt
+//	benchdiff parse -in bench.txt -out BENCH.json
+//	benchdiff compare -baseline bench_baseline.json -current BENCH.json -threshold 25
+//
+// parse keeps the minimum ns/op per benchmark across -count repeats —
+// the least-noisy estimator of a benchmark's true cost on the machine —
+// and strips the -GOMAXPROCS suffix so baselines compare across core
+// counts. compare exits non-zero when a benchmark present in the
+// baseline is slower than threshold percent in the current run, or has
+// disappeared from it; new benchmarks are reported but pass (commit a
+// refreshed baseline to start gating them).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is the committed JSON shape: benchmark name → min ns/op.
+type Result struct {
+	// Note documents how the numbers were produced; free-form.
+	Note string `json:"note,omitempty"`
+	// NsPerOp maps benchmark name (sub-benchmarks included, -cpu
+	// suffix stripped) to its minimum ns/op across repeats.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		cmdParse(os.Args[2:])
+	case "compare":
+		cmdCompare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  benchdiff parse   [-in bench.txt] [-out out.json] [-note text]
+  benchdiff compare -baseline base.json -current cur.json [-threshold pct]
+`)
+	os.Exit(2)
+}
+
+func cmdParse(args []string) {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	in := fs.String("in", "", "benchmark output file (default stdin)")
+	out := fs.String("out", "", "JSON output file (default stdout)")
+	note := fs.String("note", "", "provenance note stored in the JSON")
+	fs.Parse(args)
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	ns, err := parseBench(r)
+	if err != nil {
+		fail("%v", err)
+	}
+	if len(ns) == 0 {
+		fail("no benchmark results found")
+	}
+	res := Result{Note: *note, NsPerOp: ns}
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: wrote %d benchmarks to %s\n", len(ns), *out)
+}
+
+func cmdCompare(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "", "committed baseline JSON")
+	curPath := fs.String("current", "", "fresh run JSON")
+	threshold := fs.Float64("threshold", 25, "max tolerated slowdown in percent")
+	fs.Parse(args)
+	if *basePath == "" || *curPath == "" {
+		usage()
+	}
+	base, err := loadResult(*basePath)
+	if err != nil {
+		fail("%v", err)
+	}
+	cur, err := loadResult(*curPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	rows, bad := compare(base.NsPerOp, cur.NsPerOp, *threshold)
+	for _, row := range rows {
+		fmt.Println(row)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: FAIL — %d benchmark(s) regressed past %.0f%% (or vanished):\n", len(bad), *threshold)
+		for _, b := range bad {
+			fmt.Fprintf(os.Stderr, "  %s\n", b)
+		}
+		fmt.Fprintf(os.Stderr, "see CONTRIBUTING.md for the baseline update workflow\n")
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK — %d benchmarks within %.0f%% of baseline\n", len(base.NsPerOp), *threshold)
+}
+
+func loadResult(path string) (Result, error) {
+	var res Result
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return res, err
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		return res, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(res.NsPerOp) == 0 {
+		return res, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return res, nil
+}
+
+// parseBench extracts min ns/op per benchmark from `go test -bench`
+// output. Lines look like
+//
+//	BenchmarkEngines/BatchEnum+-8   37   31714301 ns/op   16.10 queries/s
+//
+// Name and ns/op are the 1st and 3rd fields; the -N GOMAXPROCS suffix
+// is stripped so baselines survive core-count changes.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	ns := make(map[string]float64)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var val float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad ns/op %q: %v", lineNo+1, fields[i], err)
+				}
+				val, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := stripCPUSuffix(fields[0])
+		if old, ok := ns[name]; !ok || val < old {
+			ns[name] = val
+		}
+	}
+	return ns, nil
+}
+
+// stripCPUSuffix drops a trailing -N (the GOMAXPROCS decoration).
+func stripCPUSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// compare renders a delta table and collects the failures: benchmarks
+// slower than threshold percent, and baseline benchmarks missing from
+// the current run. New benchmarks pass with a note.
+func compare(base, cur map[string]float64, threshold float64) (rows, bad []string) {
+	names := make([]string, 0, len(base)+len(cur))
+	for name := range base {
+		names = append(names, name)
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, inBase := base[name]
+		c, inCur := cur[name]
+		switch {
+		case !inBase:
+			rows = append(rows, fmt.Sprintf("%-60s %12.0f ns/op  (new, not gated)", name, c))
+		case !inCur:
+			rows = append(rows, fmt.Sprintf("%-60s missing from current run", name))
+			bad = append(bad, fmt.Sprintf("%s: in baseline but not in current run", name))
+		default:
+			pct := 100 * (c - b) / b
+			row := fmt.Sprintf("%-60s %12.0f → %12.0f ns/op  %+7.1f%%", name, b, c, pct)
+			if pct > threshold {
+				row += "  REGRESSION"
+				bad = append(bad, fmt.Sprintf("%s: %.1f%% slower (%.0f → %.0f ns/op)", name, pct, b, c))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, bad
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(1)
+}

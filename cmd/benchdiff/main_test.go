@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkEngines/BatchEnum+-8         	      37	  31714301 ns/op	        16.10 queries/s
+BenchmarkEngines/BatchEnum+-8         	      40	  29500000 ns/op	        17.00 queries/s
+BenchmarkEngines/BasicEnum-8          	      10	 100000000 ns/op
+BenchmarkServiceThroughput/Microbatched-8 	       5	 200000000 ns/op	      400.0 queries/s	       3.0 queries/batch
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBench(t *testing.T) {
+	ns, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkEngines/BatchEnum+":             29500000, // min of the two repeats
+		"BenchmarkEngines/BasicEnum":              100000000,
+		"BenchmarkServiceThroughput/Microbatched": 200000000,
+	}
+	if len(ns) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(ns), len(want), ns)
+	}
+	for name, v := range want {
+		if ns[name] != v {
+			t.Errorf("%s = %v, want %v", name, ns[name], v)
+		}
+	}
+}
+
+func TestParseBenchRejectsGarbageNsOp(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("BenchmarkX-8 10 zzz ns/op\n")); err == nil {
+		t.Fatal("garbage ns/op accepted")
+	}
+}
+
+func TestStripCPUSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkEngines/BatchEnum+-8": "BenchmarkEngines/BatchEnum+",
+		"BenchmarkFoo-16":               "BenchmarkFoo",
+		"BenchmarkBare":                 "BenchmarkBare",
+		"BenchmarkTricky-name":          "BenchmarkTricky-name", // non-numeric suffix kept
+	}
+	for in, want := range cases {
+		if got := stripCPUSuffix(in); got != want {
+			t.Errorf("stripCPUSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := map[string]float64{"A": 100, "B": 100, "C": 100}
+	cur := map[string]float64{"A": 110, "B": 130, "D": 50}
+
+	rows, bad := compare(base, cur, 25)
+	if len(rows) != 4 {
+		t.Fatalf("%d rows, want 4: %v", len(rows), rows)
+	}
+	// B regressed 30% > 25%, C vanished; A (+10%) and D (new) pass.
+	if len(bad) != 2 {
+		t.Fatalf("%d failures, want 2: %v", len(bad), bad)
+	}
+	for _, b := range bad {
+		if !strings.HasPrefix(b, "B:") && !strings.HasPrefix(b, "C:") {
+			t.Errorf("unexpected failure %q", b)
+		}
+	}
+
+	// Everything within a looser threshold (except the vanished C).
+	_, bad = compare(base, cur, 50)
+	if len(bad) != 1 || !strings.HasPrefix(bad[0], "C:") {
+		t.Fatalf("loose threshold failures = %v, want only C", bad)
+	}
+
+	// Improvements never fail.
+	_, bad = compare(map[string]float64{"A": 100}, map[string]float64{"A": 10}, 25)
+	if len(bad) != 0 {
+		t.Fatalf("improvement flagged: %v", bad)
+	}
+}

@@ -13,6 +13,17 @@
 //
 //	hcpath -graph g.txt -queries q.txt -replay -clients 32
 //
+// Update-replay mode drives the service against a live graph: an
+// updates file interleaves mutations with queries, consecutive queries
+// are submitted concurrently (so they micro-batch), and each mutation
+// block is applied with ApplyUpdates before the next wave — later
+// queries see the updated graph, earlier ones their original snapshot:
+//
+//	hcpath -graph g.txt -updates ops.txt
+//
+// The updates file holds one operation per line: "add u v" ("a u v"),
+// "del u v" ("d u v"), or "query s t k" ("q s t k"); '#' comments.
+//
 // The graph file is an edge list ("src dst" per line, '#' comments) or
 // the repository's binary format (.bin). The query file holds one
 // "s t k" triple per line. The engine defaults to BatchEnum+, the
@@ -48,6 +59,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "total enumeration deadline; replay: per-batch QueryTimeout (0 = none)")
 
 		replay   = flag.Bool("replay", false, "replay queries through the micro-batching service")
+		updates  = flag.String("updates", "", "update-replay: file interleaving add/del/query operations")
+		compact  = flag.Int("compactafter", 0, "update-replay: fold the delta after this many edge changes (0 = default)")
 		clients  = flag.Int("clients", 16, "replay: concurrent client goroutines")
 		maxBatch = flag.Int("maxbatch", 64, "replay: max queries coalesced per batch")
 		maxWait  = flag.Duration("maxwait", 2*time.Millisecond, "replay: batch formation window")
@@ -63,39 +76,43 @@ func main() {
 	if err != nil {
 		fail("load graph: %v", err)
 	}
-	qs, err := loadQueries(*queryPath, *oneQuery)
-	if err != nil {
-		fail("load queries: %v", err)
-	}
 	algo, err := parseAlgo(*algoName)
 	if err != nil {
 		fail("%v", err)
+	}
+	cacheBytes := int64(-1) // 0 MiB: caching off
+	if *cacheMB > 0 {
+		cacheBytes = int64(*cacheMB) << 20
+	}
+	opts := hcpath.Options{
+		Algorithm:       algo,
+		Gamma:           *gamma,
+		MaxHops:         *maxHops,
+		Limit:           *limit,
+		IndexCacheBytes: cacheBytes,
+	}
+
+	if *updates != "" {
+		fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %s\n",
+			g.NumVertices(), g.NumEdges(), algo)
+		runUpdateReplay(g, *updates, opts, *maxBatch, *maxWait, *timeout, *compact, *verbose)
+		return
+	}
+
+	qs, err := loadQueries(*queryPath, *oneQuery)
+	if err != nil {
+		fail("load queries: %v", err)
 	}
 
 	fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %d queries; %s\n",
 		g.NumVertices(), g.NumEdges(), len(qs), algo)
 
 	if *replay {
-		cacheBytes := int64(-1) // 0 MiB: caching off
-		if *cacheMB > 0 {
-			cacheBytes = int64(*cacheMB) << 20
-		}
-		runReplay(g, qs, hcpath.Options{
-			Algorithm:       algo,
-			Gamma:           *gamma,
-			MaxHops:         *maxHops,
-			Limit:           *limit,
-			IndexCacheBytes: cacheBytes,
-		}, *clients, *maxBatch, *maxWait, *timeout, *verbose)
+		runReplay(g, qs, opts, *clients, *maxBatch, *maxWait, *timeout, *verbose)
 		return
 	}
-
-	eng := hcpath.NewEngine(g, &hcpath.Options{
-		Algorithm: algo,
-		Gamma:     *gamma,
-		MaxHops:   *maxHops,
-		Limit:     *limit,
-	})
+	opts.IndexCacheBytes = 0 // one offline batch: cold build
+	eng := hcpath.NewEngine(g, &opts)
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -207,6 +224,175 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients,
 		tot.Groups, tot.SharedQueries, tot.SplicedPaths,
 		(time.Duration(tot.WaitNanos) / time.Duration(max(tot.Batches, 1))).Round(time.Microsecond),
 		(time.Duration(tot.EnumerateNanos) / time.Duration(max(tot.Batches, 1))).Round(time.Microsecond))
+	fmt.Println(cacheLine(tot))
+}
+
+// op is one line of an update-replay file: either a mutation or a query.
+type op struct {
+	add, del bool
+	edge     hcpath.Edge
+	q        hcpath.Query
+}
+
+// loadOps parses an update-replay file: "add|a u v", "del|d u v",
+// "query|q s t k", '#' comments.
+func loadOps(path string) ([]op, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var ops []op
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		parse := func(want int) ([]uint64, error) {
+			if len(fields) != want+1 {
+				return nil, fmt.Errorf("%s:%d: want %d operands, got %q", path, line, want, text)
+			}
+			vals := make([]uint64, want)
+			for i := range vals {
+				v, err := strconv.ParseUint(fields[i+1], 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: operand %d: %v", path, line, i+1, err)
+				}
+				vals[i] = v
+			}
+			return vals, nil
+		}
+		switch strings.ToLower(fields[0]) {
+		case "add", "a", "del", "d":
+			vals, err := parse(2)
+			if err != nil {
+				return nil, err
+			}
+			mut := op{edge: hcpath.Edge{Src: hcpath.VertexID(vals[0]), Dst: hcpath.VertexID(vals[1])}}
+			if fields[0][0] == 'a' {
+				mut.add = true
+			} else {
+				mut.del = true
+			}
+			ops = append(ops, mut)
+		case "query", "q":
+			vals, err := parse(3)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, op{q: hcpath.Query{
+				S: hcpath.VertexID(vals[0]), T: hcpath.VertexID(vals[1]), K: int(vals[2])}})
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown op %q (want add/del/query)", path, line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("%s: no operations", path)
+	}
+	return ops, nil
+}
+
+// runUpdateReplay drives the service against a live graph: consecutive
+// queries form a wave submitted concurrently (so they micro-batch);
+// consecutive mutations form a block applied with one ApplyUpdates.
+// Waves complete before the next mutation block applies, so every query
+// deterministically sees the graph version current when its wave began.
+func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, maxBatch int, maxWait, queryTimeout time.Duration, compactAfter int, verbose bool) {
+	ops, err := loadOps(path)
+	if err != nil {
+		fail("load updates: %v", err)
+	}
+	svc := hcpath.NewService(g, &hcpath.ServiceOptions{
+		Options:      opts,
+		MaxBatch:     maxBatch,
+		MaxWait:      maxWait,
+		QueryTimeout: queryTimeout,
+		CompactAfter: compactAfter,
+	})
+	defer svc.Close()
+
+	var queries, failed, truncated, updates int64
+	t0 := time.Now()
+
+	var wave sync.WaitGroup
+	flushWave := func() { wave.Wait() }
+	var adds, dels []hcpath.Edge
+	pendingAdd := map[hcpath.Edge]bool{}
+	pendingDel := map[hcpath.Edge]bool{}
+	flushUpdates := func() {
+		if len(adds) == 0 && len(dels) == 0 {
+			return
+		}
+		epoch, err := svc.ApplyUpdates(adds, dels)
+		if err != nil {
+			fail("apply updates: %v", err)
+		}
+		updates += int64(len(adds) + len(dels))
+		if verbose {
+			fmt.Fprintf(os.Stderr, "applied %d adds, %d dels → epoch %d\n", len(adds), len(dels), epoch)
+		}
+		adds, dels = nil, nil
+		clear(pendingAdd)
+		clear(pendingDel)
+	}
+
+	for _, o := range ops {
+		switch {
+		case o.add:
+			flushWave()
+			// ApplyUpdates applies a block's dels before its adds, so an
+			// edge already pending deletion must flush first to keep the
+			// file's sequential semantics.
+			if pendingDel[o.edge] {
+				flushUpdates()
+			}
+			adds = append(adds, o.edge)
+			pendingAdd[o.edge] = true
+		case o.del:
+			flushWave()
+			if pendingAdd[o.edge] {
+				flushUpdates()
+			}
+			dels = append(dels, o.edge)
+			pendingDel[o.edge] = true
+		default:
+			flushUpdates()
+			queries++
+			wave.Add(1)
+			waveEpoch := svc.Epoch()
+			go func(q hcpath.Query, i int64) {
+				defer wave.Done()
+				switch count, _, err := svc.Count(context.Background(), q); {
+				case err == nil:
+					if verbose {
+						fmt.Fprintf(os.Stderr, "q(s=%d,t=%d,k=%d) @epoch %d: %d paths\n",
+							q.S, q.T, q.K, waveEpoch, count)
+					}
+				case errors.Is(err, hcpath.ErrLimitReached) || errors.Is(err, context.DeadlineExceeded):
+					atomic.AddInt64(&truncated, 1)
+				default:
+					fmt.Fprintf(os.Stderr, "hcpath: query %d: %v\n", i, err)
+					atomic.AddInt64(&failed, 1)
+				}
+			}(o.q, queries)
+		}
+	}
+	flushWave()
+	flushUpdates()
+	elapsed := time.Since(t0)
+
+	tot := svc.Totals()
+	fmt.Printf("replayed %d queries and %d updates in %v, %d failed, %d truncated\n",
+		queries, updates, elapsed.Round(time.Microsecond), failed, truncated)
+	fmt.Printf("epoch %d (%d effective edge changes, %d compactions, %d delta edges pending), %d batches, %d paths\n",
+		tot.Epoch, tot.UpdatesApplied, tot.Compactions, tot.DeltaEdges, tot.Batches, tot.Paths)
 	fmt.Println(cacheLine(tot))
 }
 

@@ -87,3 +87,37 @@ func TestCacheLine(t *testing.T) {
 		t.Errorf("cacheLine = %q, want %q", got, want)
 	}
 }
+
+func TestLoadOps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ops.txt")
+	content := "# warmup\nquery 0 11 5\nadd 3 7\na 7 3\ndel 0 1\nq 0 11 5\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ops, err := loadOps(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 5 {
+		t.Fatalf("parsed %d ops, want 5", len(ops))
+	}
+	if !ops[1].add || ops[1].edge != (hcpath.Edge{Src: 3, Dst: 7}) {
+		t.Fatalf("op 1 = %+v", ops[1])
+	}
+	if !ops[3].del || ops[3].edge != (hcpath.Edge{Src: 0, Dst: 1}) {
+		t.Fatalf("op 3 = %+v", ops[3])
+	}
+	if ops[4].add || ops[4].del || ops[4].q.K != 5 {
+		t.Fatalf("op 4 = %+v", ops[4])
+	}
+	for _, bad := range []string{"swap 1 2\n", "add 1\n", "query 1 2\n", "add x y\n"} {
+		badPath := filepath.Join(dir, "bad.txt")
+		if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadOps(badPath); err == nil {
+			t.Errorf("ops %q accepted", bad)
+		}
+	}
+}

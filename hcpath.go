@@ -550,6 +550,13 @@ type ServiceOptions struct {
 	// for company; zero means 2ms. Larger windows coalesce more
 	// concurrent queries (more sharing) at higher per-query latency.
 	MaxWait time.Duration
+	// CompactAfter tunes the versioned graph store behind ApplyUpdates:
+	// live edge changes accumulate in a compact delta overlay, and once
+	// the effective changes since the last base reach this count the
+	// delta is folded into a fresh CSR in the background. Zero selects
+	// the store default (max(4096, edges/8)); negative disables automatic
+	// compaction. Irrelevant until ApplyUpdates is used.
+	CompactAfter int
 	// QueryTimeout, when positive, bounds each micro-batch's engine
 	// time: a batch that exceeds it stops promptly, queries already
 	// finished keep their complete results, and the rest return their
@@ -589,6 +596,7 @@ func NewService(g *Graph, opts *ServiceOptions) *Service {
 			MaxWait:      o.MaxWait,
 			QueryTimeout: o.QueryTimeout,
 			Limit:        o.Limit,
+			CompactAfter: o.CompactAfter,
 			Engine: batchenum.Options{
 				Algorithm: o.Algorithm.internal(),
 				Gamma:     o.Gamma,
@@ -643,6 +651,38 @@ func (s *Service) Count(ctx context.Context, q Query) (int64, BatchStats, error)
 	}
 	return r.Count, r.Batch, r.Err
 }
+
+// ApplyUpdates publishes a new graph version with dels removed and adds
+// inserted, without restarting the service or rebuilding the graph:
+// changed adjacency rows are merged once into a compact delta overlay
+// and the result is swapped in atomically as a new epoch. Micro-batches
+// already dispatched finish on the snapshot they started with; every
+// batch formed afterwards sees the new graph, and the cross-batch index
+// cache keys its entries by epoch, so a post-update query is never
+// answered from pre-update distances.
+//
+// Deletions apply before additions (an edge in both ends up present),
+// self-loops and duplicate adds are dropped, deleting an absent edge is
+// a no-op, and adds may name vertices beyond the current size — the
+// vertex space grows to fit (it never shrinks). When the accumulated
+// delta outgrows ServiceOptions.CompactAfter it is folded into a fresh
+// CSR base in the background. Returns the epoch now current.
+func (s *Service) ApplyUpdates(adds, dels []Edge) (uint64, error) {
+	ia := make([]graph.Edge, len(adds))
+	for i, e := range adds {
+		ia[i] = graph.Edge{Src: e.Src, Dst: e.Dst}
+	}
+	id := make([]graph.Edge, len(dels))
+	for i, e := range dels {
+		id[i] = graph.Edge{Src: e.Src, Dst: e.Dst}
+	}
+	return s.svc.ApplyUpdates(ia, id)
+}
+
+// Epoch returns the service's current graph version: zero at start,
+// bumped by every effective ApplyUpdates and by every background
+// compaction.
+func (s *Service) Epoch() uint64 { return s.svc.Epoch() }
 
 // Totals returns a snapshot of the service's lifetime counters.
 func (s *Service) Totals() ServiceTotals { return s.svc.Stats() }

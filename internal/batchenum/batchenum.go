@@ -69,6 +69,11 @@ type Options struct {
 	// cold build per run; a long-lived hcindex.Cache here makes the
 	// index phase amortise across batches that repeat endpoints.
 	Provider hcindex.Provider
+	// Epoch is the graph version this run executes on — the versioned
+	// store's snapshot epoch for live graphs, zero for static ones. It
+	// scopes the Provider's cache keys so a post-update run can never be
+	// served pre-update distance maps.
+	Epoch uint64
 }
 
 // acquire obtains the batch's index through the configured provider,
@@ -78,7 +83,7 @@ func (o Options) acquire(g, gr *graph.Graph, qs []query.Query) *hcindex.Index {
 	if p == nil {
 		p = hcindex.NewBuilder(false)
 	}
-	return p.Acquire(g, gr, qs)
+	return p.Acquire(g, gr, o.Epoch, qs)
 }
 
 func (o Options) gamma() float64 {

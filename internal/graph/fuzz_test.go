@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary hammers the binary loader with arbitrary bytes: it must
+// either return an error or a graph whose invariants hold and which
+// round-trips through WriteBinary byte-identically. Seeds cover valid
+// encodings (so mutations explore near-valid corruptions: flipped
+// offsets, out-of-range targets, truncations) plus a header lying about
+// huge sizes, which must fail fast instead of allocating.
+func FuzzReadBinary(f *testing.F) {
+	seed := func(g *Graph) []byte {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seed(FromEdges(4, []Edge{{0, 1}, {1, 2}, {0, 2}, {2, 3}})))
+	f.Add(seed(FromEdges(1, nil)))
+	f.Add(seed(FromEdges(6, []Edge{{0, 5}, {5, 0}, {2, 3}, {3, 4}, {4, 2}})))
+	// Magic + header claiming 2^32 vertices and edges, no data.
+	huge := append([]byte(nil), binaryMagic[:]...)
+	huge = append(huge, []byte{0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0}...)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16] // bound per-exec work, not coverage
+		}
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, g); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		g2, err := ReadBinary(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := WriteBinary(&out2, g2); err != nil {
+			t.Fatalf("re-encode 2: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("round-trip not stable")
+		}
+	})
+}

@@ -30,25 +30,63 @@ type Edge struct {
 // targets[offsets[v]:offsets[v+1]]. Neighbour lists are sorted by vertex
 // id and deduplicated; self-loops are removed at construction time (a
 // simple path can never use one).
+//
+// A Graph may additionally carry a delta overlay (see Overlay): a set of
+// adjacency rows that supersede the CSR rows of the vertices they name,
+// plus optional vertex growth beyond the CSR. Overlay graphs answer the
+// same neighbour-access calls as plain ones — every engine works
+// unchanged — at the cost of one map probe per access; plain graphs pay
+// a single nil check. The versioned store (internal/store) builds one
+// overlay graph per update epoch and folds it back into a plain CSR
+// when the delta grows (Flatten).
 type Graph struct {
 	offsets []int64
 	targets []VertexID
+
+	// overlay, when non-nil, supersedes the CSR rows of the vertices it
+	// contains; rows are sorted, deduplicated and self-loop free, like
+	// CSR rows. ovN/ovM are the overlay graph's vertex and edge totals
+	// (ovN ≥ len(offsets)-1: updates may add vertices, never remove).
+	overlay map[VertexID][]VertexID
+	ovN     int
+	ovM     int
 }
 
 // NumVertices returns the number of vertices n.
-func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+func (g *Graph) NumVertices() int {
+	if g.overlay != nil {
+		return g.ovN
+	}
+	return len(g.offsets) - 1
+}
 
 // NumEdges returns the number of directed edges m (after dedup).
-func (g *Graph) NumEdges() int { return len(g.targets) }
+func (g *Graph) NumEdges() int {
+	if g.overlay != nil {
+		return g.ovM
+	}
+	return len(g.targets)
+}
 
 // OutNeighbors returns the sorted out-neighbour list of v. The returned
 // slice aliases internal storage and must not be modified.
 func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	if g.overlay != nil {
+		if row, ok := g.overlay[v]; ok {
+			return row
+		}
+		if int(v) >= len(g.offsets)-1 {
+			return nil // grown vertex with no overlay row
+		}
+	}
 	return g.targets[g.offsets[v]:g.offsets[v+1]]
 }
 
 // OutDegree returns the out-degree of v.
 func (g *Graph) OutDegree(v VertexID) int {
+	if g.overlay != nil {
+		return len(g.OutNeighbors(v))
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
@@ -73,8 +111,14 @@ func (g *Graph) Edges(fn func(src, dst VertexID) bool) {
 }
 
 // Reverse builds the reverse graph Gr: edge (u,v) becomes (v,u). The
-// construction is a counting sort and runs in O(n+m).
+// construction is a counting sort and runs in O(n+m). Reversing an
+// overlay graph produces a plain CSR (the overlay is folded in); the
+// versioned store keeps its own symmetric reverse overlay instead of
+// calling this per epoch.
 func (g *Graph) Reverse() *Graph {
+	if g.overlay != nil {
+		g = g.Flatten()
+	}
 	n := g.NumVertices()
 	rev := &Graph{
 		offsets: make([]int64, n+1),
@@ -171,6 +215,65 @@ func FromEdges(n int, edges []Edge) *Graph {
 	return b.Build()
 }
 
+// Overlay returns a graph presenting base with the given adjacency rows
+// superseding base's rows for the vertices they name, over a vertex
+// space of n ≥ base.NumVertices() ids. Each row must be sorted
+// ascending, deduplicated, free of self-loops, and contain only ids
+// below n — the invariants CSR rows hold (internal/store maintains them
+// when merging deltas). The base and the rows are aliased, not copied:
+// both must stay immutable for the overlay's lifetime.
+func Overlay(base *Graph, n int, rows map[VertexID][]VertexID) *Graph {
+	if base.overlay != nil {
+		base = base.Flatten()
+	}
+	if rows == nil {
+		rows = map[VertexID][]VertexID{} // nil would read as "no overlay"
+	}
+	baseN := base.NumVertices()
+	if n < baseN {
+		n = baseN
+	}
+	m := base.NumEdges()
+	for v, row := range rows {
+		if int(v) < baseN {
+			m -= base.OutDegree(v)
+		}
+		m += len(row)
+	}
+	return &Graph{
+		offsets: base.offsets,
+		targets: base.targets,
+		overlay: rows,
+		ovN:     n,
+		ovM:     m,
+	}
+}
+
+// IsOverlay reports whether the graph carries a delta overlay.
+func (g *Graph) IsOverlay() bool { return g.overlay != nil }
+
+// Flatten folds an overlay graph into a plain CSR with identical
+// vertices and edges — the compaction step of the versioned store. The
+// result is byte-identical to building the same edge set from scratch
+// (rows are already sorted and deduplicated). Plain graphs return
+// themselves.
+func (g *Graph) Flatten() *Graph {
+	if g.overlay == nil {
+		return g
+	}
+	n := g.NumVertices()
+	flat := &Graph{
+		offsets: make([]int64, n+1),
+		targets: make([]VertexID, 0, g.NumEdges()),
+	}
+	for v := 0; v < n; v++ {
+		nbrs := g.OutNeighbors(VertexID(v))
+		flat.targets = append(flat.targets, nbrs...)
+		flat.offsets[v+1] = flat.offsets[v] + int64(len(nbrs))
+	}
+	return flat
+}
+
 // Stats summarises a graph in the shape of the paper's Table I.
 type Stats struct {
 	NumVertices int
@@ -209,24 +312,30 @@ func (s Stats) String() string {
 		s.NumVertices, s.NumEdges, s.AvgDegree, s.MaxDegree)
 }
 
-// Validate checks structural invariants of the CSR arrays. It is used by
-// tests and by loaders that read untrusted input.
+// Validate checks structural invariants of the CSR arrays (and, for
+// overlay graphs, of the overlay rows and totals). It is used by tests
+// and by loaders that read untrusted input.
 func (g *Graph) Validate() error {
-	n := g.NumVertices()
 	if len(g.offsets) == 0 {
 		return fmt.Errorf("graph: missing offset array")
 	}
+	baseN := len(g.offsets) - 1
 	if g.offsets[0] != 0 {
 		return fmt.Errorf("graph: offsets[0] = %d, want 0", g.offsets[0])
 	}
-	if g.offsets[n] != int64(len(g.targets)) {
-		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[n], len(g.targets))
+	if g.offsets[baseN] != int64(len(g.targets)) {
+		return fmt.Errorf("graph: offsets[n] = %d, want %d", g.offsets[baseN], len(g.targets))
 	}
-	for v := 0; v < n; v++ {
+	for v := 0; v < baseN; v++ {
 		if g.offsets[v] > g.offsets[v+1] {
 			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
 		}
+	}
+	n := g.NumVertices()
+	m := 0
+	for v := 0; v < n; v++ {
 		nbrs := g.OutNeighbors(VertexID(v))
+		m += len(nbrs)
 		for i, w := range nbrs {
 			if int(w) >= n {
 				return fmt.Errorf("graph: edge (%d,%d) out of range n=%d", v, w, n)
@@ -236,6 +345,19 @@ func (g *Graph) Validate() error {
 			}
 			if i > 0 && nbrs[i-1] >= w {
 				return fmt.Errorf("graph: neighbours of %d not strictly sorted", v)
+			}
+		}
+	}
+	if g.overlay != nil {
+		if g.ovN < baseN {
+			return fmt.Errorf("graph: overlay shrinks vertex space (%d < %d)", g.ovN, baseN)
+		}
+		if m != g.ovM {
+			return fmt.Errorf("graph: overlay edge total %d, want %d", g.ovM, m)
+		}
+		for v := range g.overlay {
+			if int(v) >= n {
+				return fmt.Errorf("graph: overlay row for out-of-range vertex %d (n=%d)", v, n)
 			}
 		}
 	}

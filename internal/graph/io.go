@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -66,6 +67,7 @@ var binaryMagic = [8]byte{'H', 'C', 'G', 'R', 'A', 'P', 'H', '1'}
 // format: magic, n (uint64), m (uint64), offsets (n+1 × int64),
 // targets (m × uint32).
 func WriteBinary(w io.Writer, g *Graph) error {
+	g = g.Flatten() // overlay graphs serialise as their folded CSR
 	bw := bufio.NewWriterSize(w, 1<<20)
 	if _, err := bw.Write(binaryMagic[:]); err != nil {
 		return err
@@ -83,7 +85,19 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph written by WriteBinary and validates it.
+// readChunkEntries bounds how many array entries ReadBinary requests at
+// a time, so a corrupt header cannot drive a multi-gigabyte allocation:
+// storage grows only as data actually arrives, and a truncated stream
+// fails after at most one chunk of over-allocation.
+const readChunkEntries = 1 << 15
+
+// ReadBinary reads a graph written by WriteBinary and validates it. The
+// input is untrusted: the arrays are read incrementally in bounded
+// chunks, offsets are checked for monotonicity (and against the header's
+// edge count) and target ids for range as they stream in, and the header
+// sizes are cross-checked against the data actually present. Corrupt or
+// truncated input returns an error; it never panics or allocates
+// header-proportional memory up front.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
@@ -97,21 +111,59 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err := binary.Read(br, binary.LittleEndian, hdr[:]); err != nil {
 		return nil, fmt.Errorf("graph: reading header: %w", err)
 	}
-	n, m := hdr[0], hdr[1]
 	const maxReasonable = 1 << 33
-	if n > maxReasonable || m > maxReasonable {
-		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
+	if hdr[0] > maxReasonable || hdr[1] > maxReasonable ||
+		hdr[0]+1 > uint64(math.MaxInt) || hdr[1] > uint64(math.MaxInt) {
+		// The MaxInt guards keep the int conversions below exact on
+		// 32-bit builds, where 2^31 ≤ n ≤ 2^33 would wrap negative.
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", hdr[0], hdr[1])
 	}
-	g := &Graph{
-		offsets: make([]int64, n+1),
-		targets: make([]VertexID, m),
+	n, m := int(hdr[0]), int(hdr[1])
+
+	offsets := make([]int64, 0, min(n+1, readChunkEntries))
+	obuf := make([]int64, min(n+1, readChunkEntries))
+	prev := int64(0)
+	for len(offsets) < n+1 {
+		c := min(n+1-len(offsets), readChunkEntries)
+		if err := binary.Read(br, binary.LittleEndian, obuf[:c]); err != nil {
+			return nil, fmt.Errorf("graph: reading offsets (%d of %d): %w", len(offsets), n+1, err)
+		}
+		for i, o := range obuf[:c] {
+			switch {
+			case len(offsets) == 0 && i == 0:
+				if o != 0 {
+					return nil, fmt.Errorf("graph: offsets[0] = %d, want 0", o)
+				}
+			case o < prev:
+				return nil, fmt.Errorf("graph: offsets not monotone at index %d (%d < %d)", len(offsets)+i, o, prev)
+			}
+			if o > int64(m) {
+				return nil, fmt.Errorf("graph: offset %d exceeds edge count %d", o, m)
+			}
+			prev = o
+		}
+		offsets = append(offsets, obuf[:c]...)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
-		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	if offsets[n] != int64(m) {
+		return nil, fmt.Errorf("graph: offsets[n] = %d, want %d", offsets[n], m)
 	}
-	if err := binary.Read(br, binary.LittleEndian, g.targets); err != nil {
-		return nil, fmt.Errorf("graph: reading targets: %w", err)
+
+	targets := make([]VertexID, 0, min(m, readChunkEntries))
+	tbuf := make([]VertexID, min(m, readChunkEntries))
+	for len(targets) < m {
+		c := min(m-len(targets), readChunkEntries)
+		if err := binary.Read(br, binary.LittleEndian, tbuf[:c]); err != nil {
+			return nil, fmt.Errorf("graph: reading targets (%d of %d): %w", len(targets), m, err)
+		}
+		for i, w := range tbuf[:c] {
+			if int(w) >= n {
+				return nil, fmt.Errorf("graph: target %d out of range at index %d (n=%d)", w, len(targets)+i, n)
+			}
+		}
+		targets = append(targets, tbuf[:c]...)
 	}
+
+	g := &Graph{offsets: offsets, targets: targets}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}

@@ -14,17 +14,29 @@ import (
 // graphs while staying a small fraction of the graphs themselves.
 const DefaultCacheBytes = 64 << 20
 
-// entryKey identifies one cached hop-distance map: the BFS direction,
+// maxBindings bounds how many distinct (graph pair, epoch) generations
+// the cache serves at once. Live updates swap snapshots while batches
+// dispatched on the previous epoch are still in flight, so for a short
+// window two (occasionally more) generations coexist; entries of
+// generations that fall off the ring are dropped immediately.
+const maxBindings = 4
+
+// entryKey identifies one cached hop-distance map: the generation of
+// the (graph pair, epoch) binding it was built on, the BFS direction,
 // its source vertex (a query's S forward, T backward), and the hop cap
-// it was built with.
+// it was built with. Stale generations can never serve a fresh epoch's
+// queries — the gen field keeps their keys disjoint.
 type entryKey struct {
+	gen uint64
 	dir Direction
 	v   graph.VertexID
 	cap uint8
 }
 
-// dirVertex keys the per-endpoint cap set used for widened lookups.
+// dirVertex keys the per-endpoint cap set used for widened lookups,
+// scoped like entryKey to one generation.
 type dirVertex struct {
+	gen uint64
 	dir Direction
 	v   graph.VertexID
 }
@@ -41,30 +53,48 @@ type entry struct {
 	orphaned bool
 }
 
+// binding is one (graph pair, epoch) generation the cache has served.
+type binding struct {
+	g, gr *graph.Graph
+	epoch uint64
+	gen   uint64
+	// dropped marks a binding pushed off the ring while one of its
+	// batches was still building misses; the batch serves them privately
+	// instead of inserting into a retired generation.
+	dropped bool
+}
+
 // Cache is the cross-batch Provider: a concurrency-safe, ref-counted
-// LRU of hop-distance maps keyed by (direction, source vertex, hop
-// cap). A query with cap k is served from any cached entry of its
-// endpoint with Cap ≥ k through a thresholded view (msbfs.DistMap.View),
-// so widening traffic (the same endpoints asked with varying k) still
-// hits. Entries pinned by in-flight batches are never evicted — their
-// dense arrays are live in enumeration hot loops — which lets the byte
-// budget overshoot transiently under heavy concurrency; eviction
-// releases the dense arrays into a msbfs.Pool for the next misses to
-// reuse.
+// LRU of hop-distance maps keyed by (generation, direction, source
+// vertex, hop cap). A query with cap k is served from any cached entry
+// of its endpoint with Cap ≥ k through a thresholded view
+// (msbfs.DistMap.View), so widening traffic (the same endpoints asked
+// with varying k) still hits. Entries pinned by in-flight batches are
+// never evicted — their dense arrays are live in enumeration hot loops
+// — which lets the byte budget overshoot transiently under heavy
+// concurrency; eviction releases the dense arrays into a per-size
+// msbfs.Pool for the next misses to reuse.
 //
-// The cache binds to the first graph pair it serves. Acquiring with a
-// different pair flushes and rebinds (a convenience for tests; real
-// deployments hold one cache per graph).
+// Generations realise the live-update story: every distinct
+// (g, gr, epoch) triple the cache serves gets its own generation, keys
+// are generation-scoped, and lookups only ever match the caller's own
+// generation — a post-update query can never be answered from a
+// pre-update distance map. Stale generations are not flushed eagerly:
+// their entries stay pinned-safe for in-flight batches and are evicted
+// preferentially (before current-generation LRU victims) as the budget
+// demands, which is the "stale entries evict naturally" half of the
+// contract.
 type Cache struct {
 	maxBytes int64
 
-	mu      sync.Mutex
-	g, gr   *graph.Graph
-	pool    *msbfs.Pool
-	entries map[entryKey]*entry
-	caps    map[dirVertex][]uint8 // ascending caps present per endpoint
-	lru     *list.List
-	bytes   int64
+	mu       sync.Mutex
+	bindings []*binding // most recently served first
+	nextGen  uint64
+	pools    map[int]*msbfs.Pool // dense-array pools keyed by |V|
+	entries  map[entryKey]*entry
+	caps     map[dirVertex][]uint8 // ascending caps present per endpoint
+	lru      *list.List
+	bytes    int64
 
 	hits, misses, widened, evictions int64
 }
@@ -77,6 +107,7 @@ func NewCache(maxBytes int64) *Cache {
 	}
 	return &Cache{
 		maxBytes: maxBytes,
+		pools:    make(map[int]*msbfs.Pool),
 		entries:  make(map[entryKey]*entry),
 		caps:     make(map[dirVertex][]uint8),
 		lru:      list.New(),
@@ -94,13 +125,14 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
-// Acquire implements Provider: cached endpoints are pinned and served
-// (through views where the cached cap is wider), the rest are built
-// with two pooled MS-BFS passes and inserted. Within one batch every
-// distinct (direction, endpoint, cap) resolves to a single *DistMap,
-// matching the cold builder's dedup exactly — downstream constraint
-// merging keys on map identity.
-func (c *Cache) Acquire(g, gr *graph.Graph, queries []query.Query) *Index {
+// Acquire implements Provider: cached endpoints of the caller's own
+// (graph pair, epoch) generation are pinned and served (through views
+// where the cached cap is wider), the rest are built with two pooled
+// MS-BFS passes and inserted under that generation. Within one batch
+// every distinct (direction, endpoint, cap) resolves to a single
+// *DistMap, matching the cold builder's dedup exactly — downstream
+// constraint merging keys on map identity.
+func (c *Cache) Acquire(g, gr *graph.Graph, epoch uint64, queries []query.Query) *Index {
 	idx := &Index{
 		fwd: make([]*msbfs.DistMap, len(queries)),
 		bwd: make([]*msbfs.DistMap, len(queries)),
@@ -116,12 +148,12 @@ func (c *Cache) Acquire(g, gr *graph.Graph, queries []query.Query) *Index {
 	var missKeys []entryKey
 
 	c.mu.Lock()
-	c.bindLocked(g, gr)
-	pool := c.pool
+	b := c.bindLocked(g, gr, epoch)
+	pool := c.poolLocked(g.NumVertices())
 	for _, q := range queries {
 		for _, key := range [2]entryKey{
-			{Forward, q.S, q.K},
-			{Backward, q.T, q.K},
+			{b.gen, Forward, q.S, q.K},
+			{b.gen, Backward, q.T, q.K},
 		} {
 			if _, ok := serving[key]; ok {
 				idx.Hits++ // resolved from cache earlier in this batch
@@ -165,17 +197,18 @@ func (c *Cache) Acquire(g, gr *graph.Graph, queries []query.Query) *Index {
 	var bypass []*msbfs.DistMap
 	inserted := make(map[entryKey]*entry, len(missKeys))
 	c.mu.Lock()
-	if c.g != g || c.gr != gr {
-		// Another batch rebound the cache to a different graph while we
-		// were building: our maps must not enter its table. Serve them
-		// privately and release them with the index.
+	if b.dropped {
+		// The binding fell off the generation ring while we were
+		// building: our maps must not enter a retired generation's table.
+		// Serve them privately and release them with the index.
 		for j, key := range missKeys {
 			resolved[key] = built[j]
 		}
 		bypass = built
 	} else {
+		denseBytes := int64(g.NumVertices())
 		for j, key := range missKeys {
-			e := c.insertLocked(key, built[j])
+			e := c.insertLocked(key, built[j], denseBytes)
 			if _, ok := pinned[e]; !ok {
 				pinned[e] = struct{}{}
 				e.refs++
@@ -190,8 +223,8 @@ func (c *Cache) Acquire(g, gr *graph.Graph, queries []query.Query) *Index {
 	}
 
 	for i, q := range queries {
-		idx.fwd[i] = resolved[entryKey{Forward, q.S, q.K}]
-		idx.bwd[i] = resolved[entryKey{Backward, q.T, q.K}]
+		idx.fwd[i] = resolved[entryKey{b.gen, Forward, q.S, q.K}]
+		idx.bwd[i] = resolved[entryKey{b.gen, Backward, q.T, q.K}]
 	}
 
 	idx.release = func() {
@@ -243,27 +276,83 @@ func (c *Cache) buildMisses(g, gr *graph.Graph, keys []entryKey, pool *msbfs.Poo
 	return out
 }
 
-// bindLocked flushes and rebinds when the graph pair changes.
-func (c *Cache) bindLocked(g, gr *graph.Graph) {
-	if c.g == g && c.gr == gr {
-		return
+// bindLocked returns the generation serving (g, gr, epoch), creating it
+// (and retiring the oldest generation past the ring bound) when the
+// triple is new. In-flight batches of retired generations keep their
+// pinned entries; only the table seats go.
+func (c *Cache) bindLocked(g, gr *graph.Graph, epoch uint64) *binding {
+	for i, b := range c.bindings {
+		if b.g == g && b.gr == gr && b.epoch == epoch {
+			if i != 0 {
+				copy(c.bindings[1:i+1], c.bindings[:i])
+				c.bindings[0] = b
+			}
+			return b
+		}
 	}
+	b := &binding{g: g, gr: gr, epoch: epoch, gen: c.nextGen}
+	c.nextGen++
+	c.bindings = append(c.bindings, nil)
+	copy(c.bindings[1:], c.bindings)
+	c.bindings[0] = b
+	if len(c.bindings) > maxBindings {
+		victim := c.bindings[len(c.bindings)-1]
+		c.bindings = c.bindings[:len(c.bindings)-1]
+		victim.dropped = true
+		c.dropGenLocked(victim.gen)
+		c.prunePoolsLocked()
+	}
+	return b
+}
+
+// poolLocked returns the dense-array pool for graphs of n vertices.
+func (c *Cache) poolLocked(n int) *msbfs.Pool {
+	p := c.pools[n]
+	if p == nil {
+		p = msbfs.NewPool(n)
+		c.pools[n] = p
+	}
+	return p
+}
+
+// prunePoolsLocked drops pools no live binding can use any more; their
+// remaining arrays drain back and are garbage collected.
+func (c *Cache) prunePoolsLocked() {
+	live := make(map[int]bool, len(c.bindings))
+	for _, b := range c.bindings {
+		live[b.g.NumVertices()] = true
+	}
+	for n := range c.pools {
+		if !live[n] {
+			delete(c.pools, n)
+		}
+	}
+}
+
+// dropGenLocked removes every entry of a retired generation.
+func (c *Cache) dropGenLocked(gen uint64) {
+	var victims []*entry
 	for _, e := range c.entries {
-		c.dropLocked(e)
+		if e.key.gen == gen {
+			victims = append(victims, e)
+		}
 	}
-	c.g, c.gr = g, gr
-	c.pool = msbfs.NewPool(g.NumVertices())
+	for _, e := range victims {
+		c.dropLocked(e)
+		c.evictions++
+	}
 }
 
 // lookupLocked returns the servable entry for key: the exact cap if
-// present, else the narrowest cached cap above it.
+// present, else the narrowest cached cap above it, always within the
+// key's own generation.
 func (c *Cache) lookupLocked(key entryKey) *entry {
 	if e, ok := c.entries[key]; ok {
 		return e
 	}
-	for _, cp := range c.caps[dirVertex{key.dir, key.v}] {
+	for _, cp := range c.caps[dirVertex{key.gen, key.dir, key.v}] {
 		if cp > key.cap {
-			return c.entries[entryKey{key.dir, key.v, cp}]
+			return c.entries[entryKey{key.gen, key.dir, key.v, cp}]
 		}
 	}
 	return nil
@@ -276,17 +365,18 @@ func (c *Cache) lookupLocked(key entryKey) *entry {
 // batches cold-missing the same key thus each pay a build and all but
 // one are discarded — a deliberate simplicity tradeoff over per-key
 // singleflight, bounded to the cache's warm-up window (and the loser's
-// arrays go straight back to the pool).
-func (c *Cache) insertLocked(key entryKey, dm *msbfs.DistMap) *entry {
+// arrays go straight back to the pool). denseBytes is the dense
+// distance array's size, |V| of the generation's graph.
+func (c *Cache) insertLocked(key entryKey, dm *msbfs.DistMap, denseBytes int64) *entry {
 	if e := c.lookupLocked(key); e != nil {
 		dm.Release()
 		c.lru.MoveToFront(e.elem)
 		return e
 	}
-	dv := dirVertex{key.dir, key.v}
+	dv := dirVertex{key.gen, key.dir, key.v}
 	for _, cp := range append([]uint8(nil), c.caps[dv]...) {
 		if cp < key.cap {
-			if narrow := c.entries[entryKey{key.dir, key.v, cp}]; narrow.refs == 0 {
+			if narrow := c.entries[entryKey{key.gen, key.dir, key.v, cp}]; narrow.refs == 0 {
 				c.dropLocked(narrow)
 				c.evictions++
 			}
@@ -295,7 +385,7 @@ func (c *Cache) insertLocked(key entryKey, dm *msbfs.DistMap) *entry {
 	e := &entry{
 		key:   key,
 		dm:    dm,
-		bytes: int64(c.pool.NumVertices()) + 4*int64(dm.NumVisited()),
+		bytes: denseBytes + 4*int64(dm.NumVisited()),
 	}
 	e.elem = c.lru.PushFront(e)
 	c.entries[key] = e
@@ -312,15 +402,29 @@ func (c *Cache) insertLocked(key entryKey, dm *msbfs.DistMap) *entry {
 	return e
 }
 
-// evictLocked drops least-recently-used unpinned entries until the byte
-// budget holds.
+// evictLocked drops unpinned entries until the byte budget holds,
+// preferring entries of stale generations (anything but the most
+// recently served binding) in LRU order, then current-generation LRU
+// victims.
 func (c *Cache) evictLocked() {
+	frontGen := ^uint64(0)
+	if len(c.bindings) > 0 {
+		frontGen = c.bindings[0].gen
+	}
 	for c.bytes > c.maxBytes {
 		var victim *entry
 		for elem := c.lru.Back(); elem != nil; elem = elem.Prev() {
-			if e := elem.Value.(*entry); e.refs == 0 {
+			if e := elem.Value.(*entry); e.refs == 0 && e.key.gen != frontGen {
 				victim = e
 				break
+			}
+		}
+		if victim == nil {
+			for elem := c.lru.Back(); elem != nil; elem = elem.Prev() {
+				if e := elem.Value.(*entry); e.refs == 0 {
+					victim = e
+					break
+				}
 			}
 		}
 		if victim == nil {
@@ -337,7 +441,7 @@ func (c *Cache) evictLocked() {
 func (c *Cache) dropLocked(e *entry) {
 	delete(c.entries, e.key)
 	c.lru.Remove(e.elem)
-	dv := dirVertex{e.key.dir, e.key.v}
+	dv := dirVertex{e.key.gen, e.key.dir, e.key.v}
 	caps := c.caps[dv]
 	for i, cp := range caps {
 		if cp == e.key.cap {

@@ -54,7 +54,7 @@ func TestCacheMatchesColdBuild(t *testing.T) {
 	want := Build(g, gr, qs)
 	c := NewCache(0)
 	for _, round := range []string{"cold", "warm"} {
-		idx := c.Acquire(g, gr, qs)
+		idx := c.Acquire(g, gr, 0, qs)
 		indexesAgree(t, round, g, want, idx, len(qs))
 		if round == "warm" && idx.Misses != 0 {
 			t.Errorf("warm pass missed %d probes", idx.Misses)
@@ -86,8 +86,8 @@ func TestCacheWidening(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewCache(0)
-	c.Acquire(g, gr, wide).Release()
-	idx := c.Acquire(g, gr, narrow)
+	c.Acquire(g, gr, 0, wide).Release()
+	idx := c.Acquire(g, gr, 0, narrow)
 	if idx.Misses != 0 {
 		t.Fatalf("widened pass missed %d probes", idx.Misses)
 	}
@@ -105,17 +105,17 @@ func TestCacheSubsumesNarrowEntries(t *testing.T) {
 	narrow, _ := query.Batch(g, []query.Query{{S: 3, T: 50, K: 3}})
 	wide, _ := query.Batch(g, []query.Query{{S: 3, T: 50, K: 7}})
 	c := NewCache(0)
-	c.Acquire(g, gr, narrow).Release()
+	c.Acquire(g, gr, 0, narrow).Release()
 	if got := c.Stats().Entries; got != 2 {
 		t.Fatalf("after narrow pass: %d entries, want 2", got)
 	}
-	c.Acquire(g, gr, wide).Release()
+	c.Acquire(g, gr, 0, wide).Release()
 	// Forward (3, cap 3) and backward (50, cap 3) are both subsumed by
 	// their cap-7 rebuilds.
 	if got := c.Stats().Entries; got != 2 {
 		t.Errorf("after wide pass: %d entries, want 2 (narrow subsumed)", got)
 	}
-	idx := c.Acquire(g, gr, narrow)
+	idx := c.Acquire(g, gr, 0, narrow)
 	if idx.Misses != 0 {
 		t.Errorf("narrow re-query missed %d probes, want widened hits", idx.Misses)
 	}
@@ -129,7 +129,7 @@ func TestCacheEviction(t *testing.T) {
 	g, gr, qs := cacheFixture(t)
 	c := NewCache(1) // evict everything as soon as it is unpinned
 	want := Build(g, gr, qs)
-	idx := c.Acquire(g, gr, qs)
+	idx := c.Acquire(g, gr, 0, qs)
 	indexesAgree(t, "pinned", g, want, idx, len(qs))
 	if c.Stats().BytesInUse == 0 {
 		t.Error("pinned entries not accounted")
@@ -143,13 +143,14 @@ func TestCacheEviction(t *testing.T) {
 		t.Error("no evictions recorded")
 	}
 	// Second pass over the flushed cache must still be correct.
-	idx2 := c.Acquire(g, gr, qs)
+	idx2 := c.Acquire(g, gr, 0, qs)
 	indexesAgree(t, "after-evict", g, want, idx2, len(qs))
 	idx2.Release()
 }
 
-// TestCacheRebind: acquiring with a different graph flushes and serves
-// the new graph correctly.
+// TestCacheRebind: acquiring with a different graph opens a fresh
+// generation and serves the new graph correctly; rebinding back finds
+// the first generation still live in the ring.
 func TestCacheRebind(t *testing.T) {
 	g, gr, qs := cacheFixture(t)
 	g2 := graph.GenGrid(10, 10)
@@ -159,11 +160,11 @@ func TestCacheRebind(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewCache(0)
-	c.Acquire(g, gr, qs).Release()
-	idx := c.Acquire(g2, gr2, qs2)
+	c.Acquire(g, gr, 0, qs).Release()
+	idx := c.Acquire(g2, gr2, 0, qs2)
 	indexesAgree(t, "rebind", g2, Build(g2, gr2, qs2), idx, len(qs2))
 	idx.Release()
-	idx2 := c.Acquire(g, gr, qs)
+	idx2 := c.Acquire(g, gr, 0, qs)
 	indexesAgree(t, "rebind-back", g, Build(g, gr, qs), idx2, len(qs))
 	idx2.Release()
 }
@@ -192,7 +193,7 @@ func TestCacheConcurrent(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				idx := c.Acquire(g, gr, qs)
+				idx := c.Acquire(g, gr, 0, qs)
 				want := Build(g, gr, qs)
 				for qi := range qs {
 					for _, v := range want.Gamma(qi) {
@@ -210,4 +211,60 @@ func TestCacheConcurrent(t *testing.T) {
 	if st := c.Stats(); st.Hits == 0 {
 		t.Error("concurrent run produced no hits")
 	}
+}
+
+// TestCacheEpochSeparation is the staleness guard of the live-update
+// contract: the same graph pointers acquired under a new epoch must
+// miss (the graph's content is presumed changed), never serve the old
+// epoch's maps — while the old epoch's generation stays warm for its
+// own in-flight traffic.
+func TestCacheEpochSeparation(t *testing.T) {
+	g, gr, qs := cacheFixture(t)
+	c := NewCache(0)
+	c.Acquire(g, gr, 0, qs).Release()
+
+	warm := c.Acquire(g, gr, 0, qs)
+	if warm.Misses != 0 {
+		t.Fatalf("epoch 0 re-acquire missed %d probes", warm.Misses)
+	}
+	warm.Release()
+
+	bumped := c.Acquire(g, gr, 1, qs)
+	if bumped.Hits != 0 {
+		t.Fatalf("epoch 1 acquire served %d stale probes from epoch 0", bumped.Hits)
+	}
+	indexesAgree(t, "epoch-1", g, Build(g, gr, qs), bumped, len(qs))
+	bumped.Release()
+
+	// Both generations now live: each serves its own epoch fully warm.
+	for _, epoch := range []uint64{0, 1} {
+		idx := c.Acquire(g, gr, epoch, qs)
+		if idx.Misses != 0 {
+			t.Errorf("epoch %d warm acquire missed %d probes", epoch, idx.Misses)
+		}
+		idx.Release()
+	}
+}
+
+// TestCachePinnedSurviveRingOverflow: an in-flight index keeps its maps
+// usable even after its generation is pushed off the binding ring by a
+// burst of newer epochs.
+func TestCachePinnedSurviveRingOverflow(t *testing.T) {
+	g, gr, qs := cacheFixture(t)
+	c := NewCache(0)
+	want := Build(g, gr, qs)
+	held := c.Acquire(g, gr, 0, qs) // pinned, not released
+
+	for epoch := uint64(1); epoch <= maxBindings+1; epoch++ {
+		c.Acquire(g, gr, epoch, qs).Release()
+	}
+
+	indexesAgree(t, "held-after-overflow", g, want, held, len(qs))
+	held.Release() // orphaned entries release here; must not panic
+	// Epoch 0's generation is gone: a re-acquire is a fresh build.
+	idx := c.Acquire(g, gr, 0, qs)
+	if idx.Hits != 0 {
+		t.Errorf("retired generation served %d hits", idx.Hits)
+	}
+	idx.Release()
 }

@@ -20,9 +20,12 @@ import (
 // safe for concurrent Acquire/Release from multiple in-flight batches.
 type Provider interface {
 	// Acquire returns the index for the batch. Queries must already be
-	// validated (query.Batch). The caller owns the result until it calls
-	// Release on it.
-	Acquire(g, gr *graph.Graph, queries []query.Query) *Index
+	// validated (query.Batch). epoch identifies the graph version the
+	// batch runs on (the versioned store's snapshot epoch; zero for
+	// static graphs): caching providers must never serve one epoch's
+	// entries to another, even across pointer-identical graphs. The
+	// caller owns the result until it calls Release on it.
+	Acquire(g, gr *graph.Graph, epoch uint64, queries []query.Query) *Index
 	// Stats returns a snapshot of the provider's lifetime counters.
 	Stats() Stats
 }
@@ -72,8 +75,9 @@ type Builder struct {
 // recycling.
 func NewBuilder(pooled bool) *Builder { return &Builder{pooled: pooled} }
 
-// Acquire implements Provider with a fresh build.
-func (b *Builder) Acquire(g, gr *graph.Graph, queries []query.Query) *Index {
+// Acquire implements Provider with a fresh build; a cold builder has no
+// cross-batch state, so the epoch only guards its pool sizing.
+func (b *Builder) Acquire(g, gr *graph.Graph, _ uint64, queries []query.Query) *Index {
 	var pool *msbfs.Pool
 	if b.pooled {
 		b.mu.Lock()

@@ -24,6 +24,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/hcindex"
 	"repro/internal/query"
+	"repro/internal/store"
 	"repro/internal/timing"
 )
 
@@ -74,6 +75,12 @@ type Config struct {
 	// cold-builds through a pooled builder, which still recycles the
 	// dense arrays).
 	IndexCacheBytes int64
+	// CompactAfter tunes the versioned store behind ApplyUpdates: the
+	// delta folds into a fresh CSR base once its effective edge changes
+	// reach this count. Zero selects the store default, negative disables
+	// automatic compaction. Services that never apply updates are
+	// unaffected.
+	CompactAfter int
 	// OnBatch, when non-nil, is called with the stats of every completed
 	// batch, after its callers have been released. Calls are serialised.
 	OnBatch func(BatchStats)
@@ -160,6 +167,14 @@ type Totals struct {
 	// DeadlineBatches the batches stopped by their QueryTimeout
 	// deadline.
 	Truncated, DeadlineBatches int64
+	// Epoch is the current graph snapshot's epoch (zero until the first
+	// ApplyUpdates), UpdatesApplied the effective edge changes ever
+	// applied, Compactions the delta folds, and DeltaEdges the changes
+	// currently pending compaction.
+	Epoch          uint64
+	UpdatesApplied int64
+	Compactions    int64
+	DeltaEdges     int
 }
 
 // IndexHitRatio is the fraction of index probes answered from the
@@ -199,10 +214,13 @@ type request struct {
 }
 
 // Service is a long-lived concurrent micro-batching query engine over
-// one graph. All methods are safe for concurrent use.
+// one versioned graph. All methods are safe for concurrent use:
+// queries batch against the snapshot current at dispatch time, and
+// ApplyUpdates swaps in a new epoch atomically — batches in flight
+// finish on the snapshot they started with.
 type Service struct {
-	g, gr *graph.Graph
-	cfg   Config
+	st  *store.Store
+	cfg Config
 
 	// provider is the long-lived index provider every micro-batch runs
 	// through: one cross-batch cache (or pooled builder) shared for the
@@ -234,7 +252,8 @@ func New(g, gr *graph.Graph, cfg Config) *Service {
 		provider = hcindex.NewCache(cfg.IndexCacheBytes) // 0 → default budget
 	}
 	s := &Service{
-		g: g, gr: gr, cfg: cfg,
+		st:       store.NewWithReverse(g, gr, store.Options{CompactAfter: cfg.CompactAfter}),
+		cfg:      cfg,
 		provider: provider,
 		submit:   make(chan *request, cfg.maxBatch()),
 	}
@@ -250,7 +269,10 @@ func New(g, gr *graph.Graph, cfg Config) *Service {
 // a batch, so one malformed query cannot fail the queries it happened to
 // be batched with.
 func (s *Service) Submit(ctx context.Context, q query.Query, collect bool) (*Reply, error) {
-	if err := q.Validate(s.g); err != nil {
+	// Validation against the current snapshot stays valid for whichever
+	// later snapshot the batch runs on: updates only ever grow the
+	// vertex space.
+	if err := q.Validate(s.st.Current().Graph()); err != nil {
 		return nil, err
 	}
 	r := &request{q: q, collect: collect, enqueued: time.Now(), done: make(chan error, 1)}
@@ -281,8 +303,28 @@ func (s *Service) Submit(ctx context.Context, q query.Query, collect bool) (*Rep
 	}
 }
 
+// ApplyUpdates publishes a new graph epoch with dels removed and adds
+// inserted (store.Store.ApplyUpdates semantics: deletions first,
+// self-loops dropped, absent deletions no-ops, vertex space grows to
+// fit adds). Batches already dispatched finish on their old snapshot;
+// every batch formed after the call sees the new epoch, whose index
+// entries can never be served from a stale generation. Returns the
+// epoch now current.
+func (s *Service) ApplyUpdates(adds, dels []graph.Edge) (uint64, error) {
+	s.closing.RLock()
+	defer s.closing.RUnlock()
+	if s.closed {
+		return s.st.Current().Epoch(), ErrClosed
+	}
+	return s.st.ApplyUpdates(adds, dels).Epoch(), nil
+}
+
+// Epoch returns the current graph snapshot's epoch.
+func (s *Service) Epoch() uint64 { return s.st.Current().Epoch() }
+
 // Stats returns a snapshot of the service's lifetime totals, including
-// the cross-batch index cache's current state.
+// the cross-batch index cache's and the versioned store's current
+// state.
 func (s *Service) Stats() Totals {
 	s.mu.Lock()
 	t := s.totals
@@ -291,6 +333,11 @@ func (s *Service) Stats() Totals {
 	t.IndexWidened = ps.Widened
 	t.IndexEvictions = ps.Evictions
 	t.IndexCacheBytes = ps.BytesInUse
+	ss := s.st.Stats()
+	t.Epoch = ss.Epoch
+	t.UpdatesApplied = ss.UpdatesApplied
+	t.Compactions = ss.Compactions
+	t.DeltaEdges = ss.DeltaEdges
 	return t
 }
 
@@ -307,6 +354,7 @@ func (s *Service) Close() {
 	close(s.submit)
 	s.closing.Unlock()
 	s.wg.Wait()
+	s.st.Close() // drain any background compaction
 }
 
 // collect is the batching loop: it owns the forming batch and its
@@ -358,8 +406,11 @@ func (s *Service) collect() {
 
 // runBatch answers one formed batch and resolves its futures. Queries
 // take their batch IDs from their position, so the sink routes results
-// straight to the requester.
+// straight to the requester. The batch binds to the snapshot current at
+// dispatch: a concurrent ApplyUpdates never changes a running batch's
+// graph, only which snapshot the next batch picks up.
 func (s *Service) runBatch(batch []*request) {
+	snap := s.st.Current()
 	dispatched := time.Now()
 	qs := make([]query.Query, len(batch))
 	for i, r := range batch {
@@ -377,13 +428,14 @@ func (s *Service) runBatch(batch []*request) {
 
 	engine := s.cfg.Engine
 	engine.Provider = s.provider
+	engine.Epoch = snap.Epoch()
 	t0 := time.Now()
 	var deadline time.Time
 	if s.cfg.QueryTimeout > 0 {
 		deadline = t0.Add(s.cfg.QueryTimeout)
 	}
 	ctrl := query.NewControl(context.Background(), deadline, s.cfg.Limit, len(batch))
-	st, err := batchenum.RunParallelControlled(s.g, s.gr, qs,
+	st, err := batchenum.RunParallelControlled(snap.Graph(), snap.Reverse(), qs,
 		batchenum.ParallelOptions{Options: engine, Workers: s.cfg.Workers}, ctrl, sink)
 	if err != nil && !ctrl.Cancelled() {
 		// Submit pre-validates, so this is systemic, not one query's

@@ -1,0 +1,423 @@
+// Package store is the versioned graph store behind live updates: an
+// immutable CSR base plus a compact add/delete edge delta, exposed as
+// epoch-numbered immutable Snapshots. Each ApplyUpdates merges the
+// changed adjacency rows once (sorted, deduplicated — the same
+// invariants CSR rows hold) into a fresh overlay over the shared base,
+// for both the forward graph and its reverse, and publishes the result
+// atomically: queries in flight keep the snapshot they started on,
+// later batches see the new epoch. When the delta grows past a
+// threshold a background compaction folds it into a fresh CSR base, so
+// steady-state reads never pay more than a bounded overlay probe.
+package store
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// DefaultCompactFraction triggers compaction once the effective delta
+// reaches this fraction of the base's edges (but never below
+// MinCompactEdges): the overlay stays a small, cache-friendly map while
+// compactions stay rare relative to update volume.
+const DefaultCompactFraction = 8
+
+// MinCompactEdges is the smallest delta worth folding; below it a
+// compaction would cost more than the overlay probes it saves.
+const MinCompactEdges = 4096
+
+// Options tunes a Store.
+type Options struct {
+	// CompactAfter folds the delta into a fresh CSR base once the number
+	// of effective edge changes since the last base reaches it. Zero
+	// selects max(MinCompactEdges, baseEdges/DefaultCompactFraction);
+	// negative disables automatic compaction (Compact still works).
+	CompactAfter int
+	// SyncCompact runs compaction inline inside the ApplyUpdates that
+	// crossed the threshold instead of in a background goroutine.
+	// Deterministic, for tests and single-threaded tools.
+	SyncCompact bool
+}
+
+// Snapshot is one immutable epoch of the graph: the forward graph and
+// its reverse, both either plain CSRs (after a compaction) or overlays
+// over the store's current base. Engines consume Graph()/Reverse()
+// directly — overlay graphs answer the same neighbour-access calls.
+type Snapshot struct {
+	epoch uint64
+
+	g, gr       *graph.Graph
+	base, baseR *graph.Graph
+
+	// fwd/bwd are the overlay rows g/gr carry (nil after compaction);
+	// rows are shared structurally across epochs and never mutated.
+	fwd, bwd map[graph.VertexID][]graph.VertexID
+
+	// deltaEdges counts effective edge changes folded into the overlay
+	// since base — the compaction pressure.
+	deltaEdges int
+}
+
+// Epoch returns the snapshot's epoch number. Epochs number snapshot
+// transitions: every ApplyUpdates that changes the graph bumps it, and
+// so does a compaction (content-identical, but a new representation),
+// so an epoch uniquely names the (graph, reverse) pair and index-cache
+// keys never alias across swaps.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Graph returns the forward graph of this epoch.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Reverse returns the reverse graph of this epoch.
+func (s *Snapshot) Reverse() *graph.Graph { return s.gr }
+
+// NumVertices returns |V| of this epoch.
+func (s *Snapshot) NumVertices() int { return s.g.NumVertices() }
+
+// NumEdges returns |E| of this epoch.
+func (s *Snapshot) NumEdges() int { return s.g.NumEdges() }
+
+// OutNeighbors returns the sorted merged base∪delta out-neighbour row
+// of v. The slice must not be modified.
+func (s *Snapshot) OutNeighbors(v graph.VertexID) []graph.VertexID { return s.g.OutNeighbors(v) }
+
+// OutDegree returns v's out-degree in this epoch.
+func (s *Snapshot) OutDegree(v graph.VertexID) int { return s.g.OutDegree(v) }
+
+// HasEdge reports whether (u,v) exists in this epoch.
+func (s *Snapshot) HasEdge(u, v graph.VertexID) bool { return s.g.HasEdge(u, v) }
+
+// DeltaEdges returns the effective edge changes pending compaction.
+func (s *Snapshot) DeltaEdges() int { return s.deltaEdges }
+
+// Stats snapshots a store's lifetime counters.
+type Stats struct {
+	// Epoch is the current snapshot's epoch.
+	Epoch uint64
+	// DeltaEdges and DeltaRows describe the current overlay: effective
+	// edge changes since the base, and overlaid adjacency rows (both
+	// directions counted once, on the forward side).
+	DeltaEdges, DeltaRows int
+	// BaseEdges is the current base CSR's edge count.
+	BaseEdges int
+	// UpdatesApplied counts effective edge changes ever applied;
+	// Compactions counts base rebuilds.
+	UpdatesApplied, Compactions int64
+}
+
+// Store owns the version chain. All methods are safe for concurrent
+// use; ApplyUpdates calls are serialised against each other and against
+// compaction swaps, Current is a single atomic load.
+type Store struct {
+	opts Options
+
+	mu  sync.Mutex // serialises ApplyUpdates and compaction swaps
+	cur atomic.Pointer[Snapshot]
+
+	compacting  atomic.Bool
+	wg          sync.WaitGroup
+	updates     atomic.Int64
+	compactions atomic.Int64
+}
+
+// New returns a store whose epoch 0 is g (computing the reverse).
+func New(g *graph.Graph, opts Options) *Store {
+	return NewWithReverse(g, g.Reverse(), opts)
+}
+
+// NewWithReverse is New with a precomputed reverse graph.
+func NewWithReverse(g, gr *graph.Graph, opts Options) *Store {
+	g, gr = g.Flatten(), gr.Flatten()
+	s := &Store{opts: opts}
+	s.cur.Store(&Snapshot{g: g, gr: gr, base: g, baseR: gr})
+	return s
+}
+
+// Current returns the latest published snapshot.
+func (s *Store) Current() *Snapshot { return s.cur.Load() }
+
+// Stats returns the store's counters and the current overlay's size.
+func (s *Store) Stats() Stats {
+	snap := s.cur.Load()
+	return Stats{
+		Epoch:          snap.epoch,
+		DeltaEdges:     snap.deltaEdges,
+		DeltaRows:      len(snap.fwd),
+		BaseEdges:      snap.base.NumEdges(),
+		UpdatesApplied: s.updates.Load(),
+		Compactions:    s.compactions.Load(),
+	}
+}
+
+// ApplyUpdates publishes a new epoch with dels removed and adds
+// inserted (deletions apply first, so an edge named in both ends up
+// present). Self-loops and duplicates among adds are dropped, deletions
+// of absent edges are no-ops, and adds may name vertices beyond the
+// current size — the vertex space grows to fit (it never shrinks). If
+// nothing effectively changes the current snapshot is returned
+// unchanged, with its epoch intact, so no-op updates cost no cache
+// warmth downstream. Crossing the compaction threshold schedules a
+// background fold of the delta into a fresh base (or runs it inline
+// under Options.SyncCompact).
+func (s *Store) ApplyUpdates(adds, dels []graph.Edge) *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	prev := s.cur.Load()
+	n := prev.g.NumVertices()
+	for _, e := range adds {
+		if e.Src == e.Dst {
+			continue
+		}
+		if int(e.Src) >= n {
+			n = int(e.Src) + 1
+		}
+		if int(e.Dst) >= n {
+			n = int(e.Dst) + 1
+		}
+	}
+
+	fwd, changedF := overlayRows(prev.g, prev.fwd, groupBySrc(adds, false), groupBySrc(dels, false))
+	bwd, changedB := overlayRows(prev.gr, prev.bwd, groupBySrc(adds, true), groupBySrc(dels, true))
+	if changedF == 0 && changedB == 0 && n == prev.g.NumVertices() {
+		return prev
+	}
+
+	snap := &Snapshot{
+		epoch:      prev.epoch + 1,
+		g:          graph.Overlay(prev.base, n, fwd),
+		gr:         graph.Overlay(prev.baseR, n, bwd),
+		base:       prev.base,
+		baseR:      prev.baseR,
+		fwd:        fwd,
+		bwd:        bwd,
+		deltaEdges: prev.deltaEdges + changedF,
+	}
+	s.cur.Store(snap)
+	s.updates.Add(int64(changedF))
+	s.maybeCompactLocked(snap)
+	return s.cur.Load()
+}
+
+// threshold returns the compaction trigger for the given base, or -1
+// when automatic compaction is disabled.
+func (s *Store) threshold(base *graph.Graph) int {
+	switch {
+	case s.opts.CompactAfter > 0:
+		return s.opts.CompactAfter
+	case s.opts.CompactAfter < 0:
+		return -1
+	}
+	return max(MinCompactEdges, base.NumEdges()/DefaultCompactFraction)
+}
+
+// maybeCompactLocked schedules (or, under SyncCompact, runs) a
+// compaction when snap's delta has outgrown the threshold.
+func (s *Store) maybeCompactLocked(snap *Snapshot) {
+	t := s.threshold(snap.base)
+	if t < 0 || snap.deltaEdges < t {
+		return
+	}
+	if s.opts.SyncCompact {
+		s.swapCompactedLocked(snap, snap.g.Flatten(), snap.gr.Flatten())
+		return
+	}
+	if s.compacting.Swap(true) {
+		return // one background fold at a time
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.compacting.Store(false)
+		s.compactOnce()
+	}()
+}
+
+// compactOnce folds the current delta into a fresh base. Updates that
+// land while the fold is in progress invalidate it; it retries a few
+// times and otherwise gives up — the still-oversized delta re-arms the
+// trigger on the next ApplyUpdates.
+func (s *Store) compactOnce() {
+	for attempt := 0; attempt < 3; attempt++ {
+		snap := s.cur.Load()
+		if snap.deltaEdges == 0 {
+			return
+		}
+		flatG, flatR := snap.g.Flatten(), snap.gr.Flatten()
+		s.mu.Lock()
+		if s.cur.Load() == snap {
+			s.swapCompactedLocked(snap, flatG, flatR)
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+	}
+}
+
+// swapCompactedLocked publishes the folded CSR pair as the next epoch.
+func (s *Store) swapCompactedLocked(snap *Snapshot, flatG, flatR *graph.Graph) {
+	s.cur.Store(&Snapshot{
+		epoch: snap.epoch + 1,
+		g:     flatG, gr: flatR,
+		base: flatG, baseR: flatR,
+	})
+	s.compactions.Add(1)
+}
+
+// Compact synchronously folds any pending delta into a fresh base and
+// returns the resulting snapshot (the current one when there was
+// nothing to fold).
+func (s *Store) Compact() *Snapshot {
+	for {
+		snap := s.cur.Load()
+		if snap.deltaEdges == 0 && snap.fwd == nil {
+			return snap
+		}
+		flatG, flatR := snap.g.Flatten(), snap.gr.Flatten()
+		s.mu.Lock()
+		if s.cur.Load() == snap {
+			s.swapCompactedLocked(snap, flatG, flatR)
+			s.mu.Unlock()
+			return s.cur.Load()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Close waits for any background compaction to finish. The store
+// remains usable; Close exists so tests and shutdown paths don't leak
+// goroutines.
+func (s *Store) Close() { s.wg.Wait() }
+
+// groupBySrc buckets edges by source (or by destination when reversed,
+// emitting the reversed edge), dropping self-loops.
+func groupBySrc(edges []graph.Edge, reversed bool) map[graph.VertexID][]graph.VertexID {
+	if len(edges) == 0 {
+		return nil
+	}
+	by := make(map[graph.VertexID][]graph.VertexID)
+	for _, e := range edges {
+		if e.Src == e.Dst {
+			continue
+		}
+		if reversed {
+			by[e.Dst] = append(by[e.Dst], e.Src)
+		} else {
+			by[e.Src] = append(by[e.Src], e.Dst)
+		}
+	}
+	return by
+}
+
+// overlayRows produces the next epoch's overlay for one direction:
+// prev's rows shared structurally, rows touched by adds/dels rebuilt by
+// a sorted merge against their current (overlay-or-base) contents.
+// changed counts effective edge changes (inserted absent + removed
+// present); rows that end up identical are left untouched.
+func overlayRows(cur *graph.Graph, prev map[graph.VertexID][]graph.VertexID,
+	adds, dels map[graph.VertexID][]graph.VertexID) (map[graph.VertexID][]graph.VertexID, int) {
+	if len(adds) == 0 && len(dels) == 0 {
+		return prev, 0
+	}
+	next := make(map[graph.VertexID][]graph.VertexID, len(prev)+len(adds))
+	for v, row := range prev {
+		next[v] = row
+	}
+	touched := make(map[graph.VertexID]struct{}, len(adds)+len(dels))
+	for v := range adds {
+		touched[v] = struct{}{}
+	}
+	for v := range dels {
+		touched[v] = struct{}{}
+	}
+	changed := 0
+	for v := range touched {
+		var old []graph.VertexID
+		if int(v) < cur.NumVertices() {
+			old = cur.OutNeighbors(v) // grown vertices start with no row
+		}
+		row, delta := mergeRow(old, adds[v], dels[v])
+		if delta == 0 {
+			continue
+		}
+		changed += delta
+		next[v] = row
+	}
+	if len(next) == 0 {
+		return prev, changed
+	}
+	return next, changed
+}
+
+// mergeRow applies dels then adds to a sorted row, returning the new
+// sorted deduplicated row and the size of its symmetric difference
+// against old. A zero delta means the row is unchanged (deleting and
+// re-adding the same edge in one batch cancels out) and the returned
+// slice is meaningless.
+func mergeRow(old, adds, dels []graph.VertexID) ([]graph.VertexID, int) {
+	adds = sortedSet(adds)
+	dels = sortedSet(dels)
+
+	// Pass 1: old minus dels.
+	kept := make([]graph.VertexID, 0, len(old)+len(adds))
+	di := 0
+	for _, w := range old {
+		for di < len(dels) && dels[di] < w {
+			di++
+		}
+		if di < len(dels) && dels[di] == w {
+			continue
+		}
+		kept = append(kept, w)
+	}
+
+	// Pass 2: union with adds.
+	out := kept
+	if len(adds) > 0 {
+		out = make([]graph.VertexID, 0, len(kept)+len(adds))
+		ki := 0
+		for _, w := range adds {
+			for ki < len(kept) && kept[ki] < w {
+				out = append(out, kept[ki])
+				ki++
+			}
+			if ki < len(kept) && kept[ki] == w {
+				continue // already present
+			}
+			out = append(out, w)
+		}
+		out = append(out, kept[ki:]...)
+	}
+	return out, symDiff(old, out)
+}
+
+// symDiff counts elements in exactly one of two sorted sets.
+func symDiff(a, b []graph.VertexID) int {
+	d, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			d++
+			i++
+		default:
+			d++
+			j++
+		}
+	}
+	return d + (len(a) - i) + (len(b) - j)
+}
+
+// sortedSet sorts and deduplicates vs in place-ish, tolerating nil.
+func sortedSet(vs []graph.VertexID) []graph.VertexID {
+	if len(vs) == 0 {
+		return vs
+	}
+	vs = slices.Clone(vs)
+	slices.Sort(vs)
+	return slices.Compact(vs)
+}

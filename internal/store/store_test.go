@@ -1,0 +1,226 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// edgeSet collects a graph's edges into a comparable map.
+func edgeSet(g *graph.Graph) map[graph.Edge]bool {
+	set := make(map[graph.Edge]bool)
+	g.Edges(func(src, dst graph.VertexID) bool {
+		set[graph.Edge{Src: src, Dst: dst}] = true
+		return true
+	})
+	return set
+}
+
+// requireEqual asserts that got presents exactly the edges of want (a
+// from-scratch rebuild) with matching counts and a valid structure.
+func requireEqual(t *testing.T, label string, got, want *graph.Graph) {
+	t.Helper()
+	if err := got.Validate(); err != nil {
+		t.Fatalf("%s: invalid graph: %v", label, err)
+	}
+	if got.NumVertices() != want.NumVertices() {
+		t.Fatalf("%s: n=%d, want %d", label, got.NumVertices(), want.NumVertices())
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("%s: m=%d, want %d", label, got.NumEdges(), want.NumEdges())
+	}
+	gs, ws := edgeSet(got), edgeSet(want)
+	for e := range ws {
+		if !gs[e] {
+			t.Fatalf("%s: missing edge %v", label, e)
+		}
+	}
+	for e := range gs {
+		if !ws[e] {
+			t.Fatalf("%s: extra edge %v", label, e)
+		}
+	}
+}
+
+func TestApplyUpdatesAddDelete(t *testing.T) {
+	base := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	s := New(base, Options{CompactAfter: -1})
+
+	snap := s.ApplyUpdates([]graph.Edge{{Src: 0, Dst: 2}, {Src: 3, Dst: 0}}, nil)
+	if snap.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1", snap.Epoch())
+	}
+	want := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 0, Dst: 2}, {Src: 3, Dst: 0}})
+	requireEqual(t, "after adds", snap.Graph(), want)
+	requireEqual(t, "after adds (reverse)", snap.Reverse(), want.Reverse())
+
+	snap = s.ApplyUpdates(nil, []graph.Edge{{Src: 1, Dst: 2}})
+	if snap.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", snap.Epoch())
+	}
+	want = graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 0, Dst: 2}, {Src: 3, Dst: 0}})
+	requireEqual(t, "after delete", snap.Graph(), want)
+	requireEqual(t, "after delete (reverse)", snap.Reverse(), want.Reverse())
+
+	if !snap.HasEdge(0, 2) || snap.HasEdge(1, 2) {
+		t.Fatal("HasEdge does not reflect the delta")
+	}
+	if d := snap.OutDegree(0); d != 2 {
+		t.Fatalf("OutDegree(0) = %d, want 2", d)
+	}
+}
+
+func TestApplyUpdatesNoOpKeepsEpoch(t *testing.T) {
+	base := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}})
+	s := New(base, Options{CompactAfter: -1})
+	before := s.Current()
+
+	// Adding a present edge, deleting an absent one, self-loops: no-ops.
+	snap := s.ApplyUpdates(
+		[]graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 2}},
+		[]graph.Edge{{Src: 1, Dst: 2}, {Src: 9, Dst: 1}})
+	if snap != before {
+		t.Fatalf("no-op update published epoch %d", snap.Epoch())
+	}
+}
+
+func TestApplyUpdatesDeleteThenAddSameEdge(t *testing.T) {
+	base := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	s := New(base, Options{CompactAfter: -1})
+	// Deletions apply first, so the edge survives; the row is unchanged
+	// and the whole update is a no-op.
+	snap := s.ApplyUpdates([]graph.Edge{{Src: 0, Dst: 1}}, []graph.Edge{{Src: 0, Dst: 1}}) //nolint
+	if snap.Epoch() != 0 {
+		t.Fatalf("del+add of same present edge bumped epoch to %d", snap.Epoch())
+	}
+}
+
+func TestVertexGrowth(t *testing.T) {
+	base := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
+	s := New(base, Options{CompactAfter: -1})
+	snap := s.ApplyUpdates([]graph.Edge{{Src: 1, Dst: 5}, {Src: 5, Dst: 0}}, nil)
+	if snap.NumVertices() != 6 {
+		t.Fatalf("n = %d, want 6", snap.NumVertices())
+	}
+	want := graph.FromEdges(6, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 5}, {Src: 5, Dst: 0}})
+	requireEqual(t, "grown", snap.Graph(), want)
+	requireEqual(t, "grown (reverse)", snap.Reverse(), want.Reverse())
+	if got := snap.OutNeighbors(3); len(got) != 0 {
+		t.Fatalf("grown vertex 3 has neighbours %v", got)
+	}
+}
+
+func TestCompactionEquivalence(t *testing.T) {
+	base := graph.FromEdges(5, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}})
+	s := New(base, Options{CompactAfter: 2, SyncCompact: true})
+
+	snap := s.ApplyUpdates([]graph.Edge{{Src: 0, Dst: 4}, {Src: 4, Dst: 0}}, []graph.Edge{{Src: 1, Dst: 2}})
+	if snap.Graph().IsOverlay() {
+		t.Fatal("threshold crossed but snapshot still an overlay")
+	}
+	if got := s.Stats().Compactions; got != 1 {
+		t.Fatalf("compactions = %d, want 1", got)
+	}
+	want := graph.FromEdges(5, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}, {Src: 0, Dst: 4}, {Src: 4, Dst: 0}})
+	requireEqual(t, "compacted", snap.Graph(), want)
+	requireEqual(t, "compacted (reverse)", snap.Reverse(), want.Reverse())
+	if snap.DeltaEdges() != 0 {
+		t.Fatalf("delta after compaction = %d", snap.DeltaEdges())
+	}
+
+	// Updates keep working on the fresh base.
+	snap = s.ApplyUpdates([]graph.Edge{{Src: 1, Dst: 3}}, nil)
+	if !snap.HasEdge(1, 3) {
+		t.Fatal("post-compaction update lost")
+	}
+}
+
+func TestBackgroundCompaction(t *testing.T) {
+	base := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}})
+	s := New(base, Options{CompactAfter: 1})
+	s.ApplyUpdates([]graph.Edge{{Src: 1, Dst: 2}, {Src: 2, Dst: 3}}, nil)
+	s.Close() // waits for the background fold
+	snap := s.Current()
+	if snap.Graph().IsOverlay() {
+		t.Fatal("background compaction did not land")
+	}
+	want := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	requireEqual(t, "bg-compacted", snap.Graph(), want)
+	if s.Stats().Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1", s.Stats().Compactions)
+	}
+}
+
+// TestRandomizedDifferential drives a random add/delete sequence
+// (including forced compactions) and checks every epoch against a
+// from-scratch rebuild of the surviving edge set, both directions.
+func TestRandomizedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 12
+	live := make(map[graph.Edge]bool)
+	var edges []graph.Edge
+	for i := 0; i < 20; i++ {
+		e := graph.Edge{Src: graph.VertexID(rng.Intn(n)), Dst: graph.VertexID(rng.Intn(n))}
+		if e.Src == e.Dst || live[e] {
+			continue
+		}
+		live[e] = true
+		edges = append(edges, e)
+	}
+	s := New(graph.FromEdges(n, edges), Options{CompactAfter: 15, SyncCompact: true})
+
+	for step := 0; step < 60; step++ {
+		var adds, dels []graph.Edge
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			e := graph.Edge{Src: graph.VertexID(rng.Intn(n)), Dst: graph.VertexID(rng.Intn(n))}
+			if rng.Intn(2) == 0 {
+				adds = append(adds, e)
+			} else {
+				dels = append(dels, e)
+			}
+		}
+		for _, e := range dels {
+			delete(live, e)
+		}
+		for _, e := range adds {
+			if e.Src != e.Dst {
+				live[e] = true
+			}
+		}
+		snap := s.ApplyUpdates(adds, dels)
+
+		var all []graph.Edge
+		for e := range live {
+			all = append(all, e)
+		}
+		want := graph.FromEdges(n, all)
+		requireEqual(t, "step", snap.Graph(), want)
+		requireEqual(t, "step (reverse)", snap.Reverse(), want.Reverse())
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("randomized run never compacted; raise steps or lower threshold")
+	}
+}
+
+// TestSnapshotIsolation verifies old snapshots survive later updates
+// and compactions untouched.
+func TestSnapshotIsolation(t *testing.T) {
+	s := New(graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}}), Options{CompactAfter: 1, SyncCompact: true})
+	s0 := s.Current()
+	s1 := s.ApplyUpdates([]graph.Edge{{Src: 1, Dst: 2}}, nil)
+	s2 := s.ApplyUpdates(nil, []graph.Edge{{Src: 0, Dst: 1}})
+
+	if s0.HasEdge(1, 2) || !s0.HasEdge(0, 1) {
+		t.Fatal("epoch 0 mutated")
+	}
+	if !s1.HasEdge(1, 2) || !s1.HasEdge(0, 1) {
+		t.Fatal("epoch 1 mutated")
+	}
+	if s2.HasEdge(0, 1) || !s2.HasEdge(1, 2) {
+		t.Fatal("epoch 2 wrong")
+	}
+}
