@@ -365,6 +365,104 @@ func BenchmarkServiceCachedThroughput(b *testing.B) {
 	})
 }
 
+// mixedFixtureT caches the planner benchmark's workload: a mix of
+// repeated-endpoint hot traffic (high Γ-overlap, the sharing engines'
+// best case — these queries cluster into large groups) and independent
+// random queries (low overlap — mostly singleton groups where the
+// sharing pipeline's detection is pure overhead). No fixed engine wins
+// both halves; the planner's job is to route each group to the engine
+// that wins its half.
+type mixedFixtureT struct {
+	g  *Graph
+	qs []Query
+}
+
+var mixedFixture *mixedFixtureT
+
+func mixedWorkload(b *testing.B) (*Graph, []Query) {
+	b.Helper()
+	if mixedFixture == nil {
+		spec, err := datasets.ByCode("EP")
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw := spec.Build(0.25)
+		hot, err := workload.Zipfian(raw, workload.ZipfianConfig{
+			Config: workload.Config{N: 160, KMin: 4, KMax: 5, Seed: 5},
+			Hot:    12,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rnd, err := workload.Random(raw, workload.Config{N: 160, KMin: 3, KMax: 5, Seed: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		qs := make([]Query, 0, len(hot)+len(rnd))
+		for i := range hot { // interleave so every micro-batch mixes both shapes
+			qs = append(qs,
+				Query{S: hot[i].S, T: hot[i].T, K: int(hot[i].K)},
+				Query{S: rnd[i].S, T: rnd[i].T, K: int(rnd[i].K)})
+		}
+		mixedFixture = &mixedFixtureT{g: wrap(raw), qs: qs}
+	}
+	return mixedFixture.g, mixedFixture.qs
+}
+
+// BenchmarkServicePlannedThroughput is the planner ablation on the
+// mixed workload: the identical micro-batching service in count mode,
+// fixed BatchEnum+ for every group versus adaptive per-group planning.
+// queries/s is the headline metric; the planned side also reports how
+// its groups were routed. Result sets are equal by construction (the
+// scenario and fuzz differential suites prove it); only the work
+// differs.
+func BenchmarkServicePlannedThroughput(b *testing.B) {
+	g, qs := mixedWorkload(b)
+	const clients = 16
+
+	run := func(b *testing.B, popts *PlannerOptions) PlanStats {
+		var plan PlanStats
+		for i := 0; i < b.N; i++ {
+			svc := NewService(g, &ServiceOptions{
+				MaxBatch: clients,
+				MaxWait:  time.Millisecond,
+				Planner:  popts,
+			})
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := c; j < len(qs); j += clients {
+						if _, _, err := svc.Count(context.Background(), qs[j]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			tot := svc.Totals()
+			svc.Close()
+			plan.Add(tot.Plan)
+		}
+		b.ReportMetric(float64(b.N)*float64(len(qs))/b.Elapsed().Seconds(), "queries/s")
+		return plan
+	}
+
+	b.Run("Fixed", func(b *testing.B) {
+		plan := run(b, nil)
+		if plan.SingleGroups+plan.SpliceGroups != 0 {
+			b.Fatalf("fixed service routed groups through the planner: %+v", plan)
+		}
+	})
+	b.Run("Planned", func(b *testing.B) {
+		plan := run(b, &PlannerOptions{})
+		total := plan.SingleGroups + plan.SharedGroups + plan.SpliceGroups
+		b.ReportMetric(float64(plan.SingleGroups)/float64(max(total, 1)), "single-group-ratio")
+	})
+}
+
 // BenchmarkEngines compares the four engines plus the no-sharing
 // ablation on one high-similarity workload.
 func BenchmarkEngines(b *testing.B) {

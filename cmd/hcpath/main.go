@@ -58,14 +58,17 @@ func main() {
 		limit     = flag.Int64("limit", 0, "max result paths per query (0 = unlimited)")
 		timeout   = flag.Duration("timeout", 0, "total enumeration deadline; replay: per-batch QueryTimeout (0 = none)")
 
-		replay   = flag.Bool("replay", false, "replay queries through the micro-batching service")
-		updates  = flag.String("updates", "", "update-replay: file interleaving add/del/query operations")
-		compact  = flag.Int("compactafter", 0, "update-replay: fold the delta after this many edge changes (0 = default)")
-		clients  = flag.Int("clients", 16, "replay: concurrent client goroutines")
-		maxBatch = flag.Int("maxbatch", 64, "replay: max queries coalesced per batch")
-		maxWait  = flag.Duration("maxwait", 2*time.Millisecond, "replay: batch formation window")
-		cacheMB  = flag.Int("cachemb", 64, "replay: cross-batch index cache budget in MiB (0 disables)")
-		verbose  = flag.Bool("v", false, "replay: print every batch's stats")
+		replay      = flag.Bool("replay", false, "replay queries through the micro-batching service")
+		updates     = flag.String("updates", "", "update-replay: file interleaving add/del/query operations")
+		compact     = flag.Int("compactafter", 0, "update-replay: fold the delta after this many edge changes (0 = default)")
+		clients     = flag.Int("clients", 16, "replay: concurrent client goroutines")
+		maxBatch    = flag.Int("maxbatch", 64, "replay: max queries coalesced per batch")
+		maxWait     = flag.Duration("maxwait", 2*time.Millisecond, "replay: batch formation window")
+		cacheMB     = flag.Int("cachemb", 64, "replay: cross-batch index cache budget in MiB (0 disables)")
+		usePlanner  = flag.Bool("planner", false, "replay: plan each batch's groups adaptively (single/shared/splice per group)")
+		maxInFlight = flag.Int("maxinflight", 0, "replay: max concurrent batches (0 = unlimited)")
+		maxQueued   = flag.Int("maxqueued", 0, "replay: max admitted-but-undispatched queries; excess shed with ErrOverloaded (0 = unlimited)")
+		verbose     = flag.Bool("v", false, "replay: print every batch's stats")
 	)
 	flag.Parse()
 
@@ -108,7 +111,16 @@ func main() {
 		g.NumVertices(), g.NumEdges(), len(qs), algo)
 
 	if *replay {
-		runReplay(g, qs, opts, *clients, *maxBatch, *maxWait, *timeout, *verbose)
+		runReplay(g, qs, opts, replayConfig{
+			clients:     *clients,
+			maxBatch:    *maxBatch,
+			maxWait:     *maxWait,
+			timeout:     *timeout,
+			planner:     *usePlanner,
+			maxInFlight: *maxInFlight,
+			maxQueued:   *maxQueued,
+			verbose:     *verbose,
+		})
 		return
 	}
 	opts.IndexCacheBytes = 0 // one offline batch: cold build
@@ -165,46 +177,79 @@ func reportPartial(st hcpath.Stats, err error) {
 	}
 }
 
+// replayConfig carries runReplay's knobs.
+type replayConfig struct {
+	clients, maxBatch      int
+	maxWait, timeout       time.Duration
+	planner                bool
+	maxInFlight, maxQueued int
+	verbose                bool
+}
+
 // runReplay pushes the query file through a Service from concurrent
 // client goroutines (client i replays queries i, i+clients, …) in count
-// mode, then reports batching and throughput statistics.
-func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients, maxBatch int, maxWait, queryTimeout time.Duration, verbose bool) {
-	svc := hcpath.NewService(g, &hcpath.ServiceOptions{
+// mode, then reports batching and throughput statistics. Clients back
+// off and retry when admission control sheds them, the behaviour
+// ErrOverloaded asks real callers for.
+func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, rc replayConfig) {
+	so := &hcpath.ServiceOptions{
 		Options:      opts,
-		MaxBatch:     maxBatch,
-		MaxWait:      maxWait,
-		QueryTimeout: queryTimeout,
+		MaxBatch:     rc.maxBatch,
+		MaxWait:      rc.maxWait,
+		QueryTimeout: rc.timeout,
+		MaxInFlight:  rc.maxInFlight,
+		MaxQueued:    rc.maxQueued,
 		OnBatch: func(b hcpath.BatchStats) {
-			if verbose {
+			if rc.verbose {
 				fmt.Fprintf(os.Stderr,
-					"batch: %d queries, %d groups, sharing %.2f, %d paths, wait %v, enumerate %v\n",
-					b.Queries, b.Groups, b.SharingRatio(), b.Paths,
+					"batch: %d queries, %d groups, sharing %.2f, plan %d/%d/%d, %d paths, wait %v, enumerate %v\n",
+					b.Queries, b.Groups, b.SharingRatio(),
+					b.Plan.SingleGroups, b.Plan.SharedGroups, b.Plan.SpliceGroups, b.Paths,
 					time.Duration(b.WaitNanos).Round(time.Microsecond),
 					time.Duration(b.EnumerateNanos).Round(time.Microsecond))
 			}
 		},
-	})
+	}
+	if rc.planner {
+		so.Planner = &hcpath.PlannerOptions{}
+	}
+	svc := hcpath.NewService(g, so)
+	clients := rc.clients
 	if clients < 1 {
 		clients = 1
 	}
 	fmt.Fprintf(os.Stderr, "replay: %d clients, batches of ≤%d formed over ≤%v windows\n",
-		clients, maxBatch, maxWait)
+		clients, rc.maxBatch, rc.maxWait)
 
-	var failed, truncated atomic.Int64
+	var failed, truncated, backoffs atomic.Int64
 	var wg sync.WaitGroup
 	t0 := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			caller := fmt.Sprintf("client-%d", c)
 			for i := c; i < len(qs); i += clients {
-				switch _, _, err := svc.Count(context.Background(), qs[i]); {
-				case err == nil:
-				case errors.Is(err, hcpath.ErrLimitReached) || errors.Is(err, context.DeadlineExceeded):
-					truncated.Add(1) // partial count delivered, not a failure
-				default:
-					fmt.Fprintf(os.Stderr, "hcpath: query %d: %v\n", i, err)
-					failed.Add(1)
+				delay := time.Millisecond
+				for {
+					_, _, err := svc.CountFrom(context.Background(), caller, qs[i])
+					switch {
+					case err == nil:
+					case errors.Is(err, hcpath.ErrLimitReached) || errors.Is(err, context.DeadlineExceeded):
+						truncated.Add(1) // partial count delivered, not a failure
+					case errors.Is(err, hcpath.ErrOverloaded):
+						// Shed at admission: exponential backoff, retry.
+						backoffs.Add(1)
+						time.Sleep(delay)
+						if delay < 64*time.Millisecond {
+							delay *= 2
+						}
+						continue
+					default:
+						fmt.Fprintf(os.Stderr, "hcpath: query %d: %v\n", i, err)
+						failed.Add(1)
+					}
+					break
 				}
 			}
 		}(c)
@@ -224,7 +269,21 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, clients,
 		tot.Groups, tot.SharedQueries, tot.SplicedPaths,
 		(time.Duration(tot.WaitNanos) / time.Duration(max(tot.Batches, 1))).Round(time.Microsecond),
 		(time.Duration(tot.EnumerateNanos) / time.Duration(max(tot.Batches, 1))).Round(time.Microsecond))
+	if rc.planner || tot.Shed > 0 || tot.Plan.SingleGroups > 0 {
+		fmt.Println(planLine(tot, backoffs.Load()))
+	}
 	fmt.Println(cacheLine(tot))
+}
+
+// planLine renders the replay report's planner and admission summary.
+func planLine(tot hcpath.ServiceTotals, backoffs int64) string {
+	p := tot.Plan
+	return fmt.Sprintf("plan: %d single / %d shared / %d spliced groups (%v / %v / %v); %d shed, %d backoffs",
+		p.SingleGroups, p.SharedGroups, p.SpliceGroups,
+		time.Duration(p.SingleNanos).Round(time.Microsecond),
+		time.Duration(p.SharedNanos).Round(time.Microsecond),
+		time.Duration(p.SpliceNanos).Round(time.Microsecond),
+		tot.Shed, backoffs)
 }
 
 // op is one line of an update-replay file: either a mutation or a query.

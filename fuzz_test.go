@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/batchenum"
 	"repro/internal/graph"
+	"repro/internal/hcindex"
 	"repro/internal/ksp"
 	"repro/internal/oracle"
 	"repro/internal/query"
@@ -29,6 +30,23 @@ import (
 
 // noDeadline marks runs stoppable only by ctx or limit.
 var noDeadline time.Time
+
+// overridePlanner drives per-group engine overrides from the fuzz
+// input: the engine of a sharing group is a deterministic function of a
+// fuzz-chosen salt, the group's first member, and its size, so the
+// fuzzer sweeps arbitrary single/shared/splice-parallel assignments.
+// Whatever it picks, results must match the fixed-engine path — the
+// planner contract is that plans change work, never answers.
+type overridePlanner struct{ salt byte }
+
+func (p overridePlanner) PlanGroup(_, _ *graph.Graph, _ *hcindex.Index, _ []query.Query, group []int) batchenum.GroupEngine {
+	engines := [...]batchenum.GroupEngine{
+		batchenum.GroupSingle, batchenum.GroupShared, batchenum.GroupSpliceParallel, batchenum.GroupAuto,
+	}
+	return engines[(int(p.salt)+group[0]+3*len(group))%len(engines)]
+}
+
+func (overridePlanner) ObserveGroup(batchenum.GroupEngine, int, int64) {}
 
 // fuzzInput decodes the fuzz bytes into a graph and a batch of up to
 // three valid queries. Returns ok=false when the bytes cannot yield at
@@ -136,6 +154,37 @@ func FuzzEnumerate(f *testing.F) {
 			for i := range qs {
 				if got := canonicalStrings(full.Paths[i]); !slices.Equal(want[i], got) {
 					t.Fatalf("%s: query %d: engine %v != oracle %v", label, i, got, want[i])
+				}
+			}
+
+			// 1b. Planner-driven runs (sharing engines only): random
+			// per-group engine overrides, sequential and parallel, must
+			// reproduce the fixed-engine results exactly.
+			if alg.Shared() {
+				popts := opts
+				popts.Planner = overridePlanner{salt: data[7]}
+				for mode, run := range map[string]func(query.Sink) (*batchenum.Stats, error){
+					"seq": func(sink query.Sink) (*batchenum.Stats, error) {
+						return batchenum.Run(g, gr, qs, popts, sink)
+					},
+					"par": func(sink query.Sink) (*batchenum.Stats, error) {
+						return batchenum.RunParallel(g, gr, qs,
+							batchenum.ParallelOptions{Options: popts, Workers: 2}, sink)
+					},
+				} {
+					planned := query.NewCollectSink(len(qs))
+					st, err := run(planned)
+					if err != nil {
+						t.Fatalf("%s/planned-%s: %v", label, mode, err)
+					}
+					for i := range qs {
+						if got := canonicalStrings(planned.Paths[i]); !slices.Equal(want[i], got) {
+							t.Fatalf("%s/planned-%s: query %d: engine %v != oracle %v", label, mode, i, got, want[i])
+						}
+					}
+					if groups := st.Plan.SingleGroups + st.Plan.SharedGroups + st.Plan.SpliceGroups; groups != int64(st.NumGroups) {
+						t.Fatalf("%s/planned-%s: plan stats cover %d groups, run had %d", label, mode, groups, st.NumGroups)
+					}
 				}
 			}
 

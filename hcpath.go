@@ -31,6 +31,7 @@ import (
 	"repro/internal/batchenum"
 	"repro/internal/graph"
 	"repro/internal/hcindex"
+	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/sharegraph"
@@ -526,8 +527,26 @@ type BatchStats = service.BatchStats
 // ServiceTotals aggregates a Service's lifetime counters.
 type ServiceTotals = service.Totals
 
+// PlanStats decomposes a batch's (or a service lifetime's) sharing
+// groups by the engine that processed them — single-query PathEnum,
+// the Ψ-DFS sharing pipeline, or parallel splice — with per-engine wall
+// time. Populated on BatchStats.Plan and ServiceTotals.Plan; without a
+// planner every group of a sharing run counts as shared.
+type PlanStats = service.PlanStats
+
+// PlannerOptions tunes the adaptive per-batch query planner (see
+// ServiceOptions.Planner). The zero value selects sensible defaults for
+// every knob, so &PlannerOptions{} simply turns the planner on.
+type PlannerOptions = planner.Options
+
 // ErrServiceClosed is returned by Service queries after Close.
 var ErrServiceClosed = service.ErrClosed
+
+// ErrOverloaded is returned by Service queries shed by admission
+// control (the queue is at MaxQueued, or the caller exhausted its
+// MaxPerCaller quota). The query never ran; back off and retry. Test
+// with errors.Is — the error is wrapped with context.
+var ErrOverloaded = service.ErrOverloaded
 
 // ServiceOptions tunes a Service. The zero value batches up to 64
 // queries per 2ms window and answers them with BatchEnum+ parallelised
@@ -566,6 +585,32 @@ type ServiceOptions struct {
 	// (Options.Limit bounds output volume the same way; a caller's own
 	// ctx cancels only that caller's wait, never the batch.)
 	QueryTimeout time.Duration
+	// Planner, when non-nil, enables the adaptive per-batch query
+	// planner: each micro-batch's sharing groups are scored by a cheap
+	// cost model (hop caps, endpoint degrees, Γ-overlap probes on the
+	// batch index, the cross-batch cache's hit ratio) and dispatched
+	// per group to single-query PathEnum, the Ψ-DFS sharing pipeline,
+	// or parallel splice — matching the paper's engine crossover
+	// online. Observed per-group costs feed back into the model.
+	// Result sets are identical with and without a planner; only the
+	// work to produce them changes. See BatchStats.Plan /
+	// ServiceTotals.Plan for where groups went.
+	Planner *PlannerOptions
+	// MaxInFlight bounds the micro-batches running concurrently; while
+	// the bound is reached, formed batches wait and traffic accumulates
+	// in the queue. Zero means unlimited.
+	MaxInFlight int
+	// MaxQueued bounds the queries admitted but not yet dispatched;
+	// beyond it, queries are shed with ErrOverloaded instead of growing
+	// the queue without bound. Shedding happens only at admission — an
+	// accepted query is always answered. Zero means unlimited.
+	MaxQueued int
+	// MaxPerCaller is the fairness quota: the maximum
+	// admitted-but-unresolved queries any one caller (as named by
+	// QueryFrom/CountFrom; anonymous callers share one bucket) may hold.
+	// A flooding caller is shed with ErrOverloaded while others keep
+	// being admitted. Zero means no quota.
+	MaxPerCaller int
 	// OnBatch, when non-nil, observes every completed batch's stats;
 	// calls are serialised.
 	OnBatch func(BatchStats)
@@ -597,6 +642,10 @@ func NewService(g *Graph, opts *ServiceOptions) *Service {
 			QueryTimeout: o.QueryTimeout,
 			Limit:        o.Limit,
 			CompactAfter: o.CompactAfter,
+			Plan:         o.Planner,
+			MaxInFlight:  o.MaxInFlight,
+			MaxQueued:    o.MaxQueued,
+			MaxPerCaller: o.MaxPerCaller,
 			Engine: batchenum.Options{
 				Algorithm: o.Algorithm.internal(),
 				Gamma:     o.Gamma,
@@ -621,11 +670,19 @@ func NewService(g *Graph, opts *ServiceOptions) *Service {
 // service's QueryTimeout stopped the batch first. Every returned path
 // is a genuine result either way.
 func (s *Service) Query(ctx context.Context, q Query) ([]Path, BatchStats, error) {
+	return s.QueryFrom(ctx, "", q)
+}
+
+// QueryFrom is Query with a caller identity for the MaxPerCaller
+// fairness quota: callers are accounted by the given name, and a caller
+// at its quota is shed with ErrOverloaded while others keep being
+// admitted. With no quota configured the name is ignored.
+func (s *Service) QueryFrom(ctx context.Context, caller string, q Query) ([]Path, BatchStats, error) {
 	iq, err := convertQuery(q, -1, s.maxHops)
 	if err != nil {
 		return nil, BatchStats{}, err
 	}
-	r, err := s.svc.Submit(ctx, iq, true)
+	r, err := s.svc.Submit(ctx, caller, iq, true)
 	if err != nil {
 		return nil, BatchStats{}, err
 	}
@@ -641,11 +698,16 @@ func (s *Service) Query(ctx context.Context, q Query) ([]Path, BatchStats, error
 // ErrLimitReached or context.DeadlineExceeded accompanies a partial
 // (lower-bound) count rather than replacing it.
 func (s *Service) Count(ctx context.Context, q Query) (int64, BatchStats, error) {
+	return s.CountFrom(ctx, "", q)
+}
+
+// CountFrom is Count with a caller identity, as QueryFrom is to Query.
+func (s *Service) CountFrom(ctx context.Context, caller string, q Query) (int64, BatchStats, error) {
 	iq, err := convertQuery(q, -1, s.maxHops)
 	if err != nil {
 		return 0, BatchStats{}, err
 	}
-	r, err := s.svc.Submit(ctx, iq, false)
+	r, err := s.svc.Submit(ctx, caller, iq, false)
 	if err != nil {
 		return 0, BatchStats{}, err
 	}

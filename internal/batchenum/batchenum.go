@@ -74,6 +74,13 @@ type Options struct {
 	// scopes the Provider's cache keys so a post-update run can never be
 	// served pre-update distance maps.
 	Epoch uint64
+	// Planner, when non-nil, picks a per-group engine for the sharing
+	// algorithms (Batch/BatchPlus): each cluster is dispatched to
+	// single-query PathEnum, the Ψ-DFS pipeline, or the parallel-splice
+	// variant per its decision, and the observed group cost is fed back
+	// to it. nil keeps the fixed behaviour (every group through the
+	// sharing pipeline). The Basic engines have no groups and ignore it.
+	Planner GroupPlanner
 }
 
 // acquire obtains the batch's index through the configured provider,
@@ -119,6 +126,10 @@ type Stats struct {
 	// per-query emission limit or by cancellation mid-run. Zero means
 	// every emitted result set is complete.
 	Truncated int
+	// Plan decomposes the run's sharing groups by the engine that
+	// processed them, with per-engine wall time. Without a planner every
+	// group counts as shared.
+	Plan PlanStats
 }
 
 // Run enumerates every HC-s-t path of every query in the batch with the
@@ -169,20 +180,13 @@ func RunControlled(g, gr *graph.Graph, queries []query.Query, opts Options, ctrl
 }
 
 // runBasic is Algorithm 1: the index is shared across the batch, the
-// enumeration is per query.
+// enumeration is per query — processGroupSingle over the whole batch.
 func runBasic(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts Options, ctrl *query.Control, sink query.Sink, st *Stats) {
-	defer st.Phases.Start(timing.Enumeration)()
-	penum := pathenum.Options{Optimized: opts.Algorithm.Optimized()}
-	for i, q := range qs {
-		if ctrl.Cancelled() {
-			return
-		}
-		id := q.ID
-		pathenum.EnumerateControlled(g, gr, q,
-			idx.DistMapFor(i, hcindex.Forward), idx.DistMapFor(i, hcindex.Backward),
-			penum, ctrl,
-			func(p []graph.VertexID) { sink.Emit(id, p) })
+	all := make([]int, len(qs))
+	for i := range all {
+		all[i] = i
 	}
+	processGroupSingle(g, gr, qs, idx, all, opts, ctrl, sink, st)
 }
 
 // runBatch is Algorithm 4: cluster, detect dominating HC-s path queries
@@ -198,7 +202,8 @@ func runBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opts Opt
 		if ctrl.Cancelled() {
 			return
 		}
-		processGroup(g, gr, qs, idx, group, opts, ctrl, sink, st)
+		runGroup(g, gr, qs, idx, group, planGroup(g, gr, qs, idx, group, opts),
+			opts, ctrl, sink, st, nil)
 	}
 }
 
@@ -214,8 +219,10 @@ func budgets(qs []query.Query, idx *hcindex.Index, qi int, optimized bool) (fb, 
 }
 
 // processGroup runs detection, shared enumeration, and joining for one
-// cluster of queries.
-func processGroup(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, group []int, opts Options, ctrl *query.Control, sink query.Sink, st *Stats) {
+// cluster of queries. A non-nil fan parallelises the join phase across
+// goroutines (GroupSpliceParallel); detection and Ψ enumeration always
+// stay on the calling worker, which owns the result cache.
+func processGroup(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, group []int, opts Options, ctrl *query.Control, sink query.Sink, st *Stats, fan *joinFanout) {
 	optimized := opts.Algorithm.Optimized()
 
 	// Queries whose target is out of hop range have empty results and
@@ -263,6 +270,22 @@ func processGroup(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, grou
 	// Backward halves of similar queries often alias one shared store;
 	// the probe-side hash index is built once per distinct store.
 	indexes := make(map[*pathjoin.Store]*pathjoin.HashIndex, len(live))
+	if fan != nil && len(live) > 1 {
+		// Parallel splice: materialise every hash index up front (the
+		// index map must not be written concurrently), then fan the
+		// per-query joins out. Stores stay alive until the whole group
+		// completes — the eager frees below assume a sequential order.
+		for i := range live {
+			if ctrl.Cancelled() {
+				return
+			}
+			if indexes[bwdStores[i]] == nil {
+				indexes[bwdStores[i]] = pathjoin.BuildHashIndex(bwdStores[i])
+			}
+		}
+		fan.joinParallel(live, qs, fwdStores, bwdStores, indexes, backHeavy, ctrl)
+		return
+	}
 	for i, qi := range live {
 		if ctrl.Cancelled() {
 			return

@@ -160,6 +160,9 @@ func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 	jobs := make(chan []int)
 	var wg sync.WaitGroup
 	var statsMu sync.Mutex
+	// One join budget for the whole run: splice groups borrow from it
+	// instead of each spawning a private worker pool.
+	joinSem := make(chan struct{}, opts.workers())
 	for w := 0; w < opts.workers(); w++ {
 		wg.Add(1)
 		go func() {
@@ -176,13 +179,19 @@ func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 					continue // drain so the dispatcher can finish
 				}
 				local := &Stats{}
-				processGroup(g, gr, qs, idx, group, opts.Options, ctrl, sink, local)
+				e := planGroup(g, gr, qs, idx, group, opts.Options)
+				var fan *joinFanout
+				if e == GroupSpliceParallel {
+					fan = &joinFanout{ms: ms, sem: joinSem}
+				}
+				runGroup(g, gr, qs, idx, group, e, opts.Options, ctrl, sink, local, fan)
 				ms.drain(buf)
 				statsMu.Lock()
 				st.SharedNodes += local.SharedNodes
 				st.SharingEdges += local.SharingEdges
 				st.CachedPaths += local.CachedPaths
 				st.SplicedPaths += local.SplicedPaths
+				st.Plan.Add(local.Plan)
 				statsMu.Unlock()
 			}
 		}()

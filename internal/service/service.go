@@ -23,6 +23,7 @@ import (
 	"repro/internal/batchenum"
 	"repro/internal/graph"
 	"repro/internal/hcindex"
+	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/store"
 	"repro/internal/timing"
@@ -30,6 +31,19 @@ import (
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("service: closed")
+
+// ErrOverloaded is returned by Submit when admission control sheds the
+// query: the queue is at MaxQueued, or the caller is at its
+// MaxPerCaller quota. The query never entered a batch — nothing ran on
+// its behalf — so the caller should back off and retry. Errors carry
+// context via wrapping; test with errors.Is(err, ErrOverloaded).
+// Shedding happens only at admission: a query that Submit accepted is
+// always answered (or abandoned by its own caller's context).
+var ErrOverloaded = errors.New("service: overloaded")
+
+// PlanStats aggregates per-engine sharing-group counts and wall time,
+// re-exported from the engine layer (see batchenum.PlanStats).
+type PlanStats = batchenum.PlanStats
 
 // Config tunes the batching policy and the engine behind it.
 type Config struct {
@@ -81,6 +95,30 @@ type Config struct {
 	// automatic compaction. Services that never apply updates are
 	// unaffected.
 	CompactAfter int
+	// Plan, when non-nil, enables the adaptive per-batch query planner:
+	// every micro-batch's sharing groups are scored by a
+	// planner.CostModel (seeded from these options, with IndexStats
+	// defaulting to this service's index provider) and dispatched
+	// per-group to single-query PathEnum, the Ψ-DFS pipeline, or
+	// parallel splice; observed group costs feed back into the model.
+	// nil keeps the fixed engine for every group.
+	Plan *planner.Options
+	// MaxInFlight bounds the micro-batches running concurrently; the
+	// collector stops dispatching (and traffic queues) while the bound
+	// is reached. Zero or negative means unlimited.
+	MaxInFlight int
+	// MaxQueued bounds the queries admitted but not yet dispatched into
+	// a running batch; Submit sheds beyond it with ErrOverloaded. Zero
+	// or negative means unlimited.
+	MaxQueued int
+	// MaxPerCaller bounds each caller's admitted-but-unresolved queries
+	// (queued plus in flight); Submit sheds a caller's excess with
+	// ErrOverloaded while other callers keep being admitted — the
+	// fairness quota that stops one hostile client from occupying the
+	// whole queue. Callers are distinguished by the Submit caller
+	// string; all anonymous ("") callers share one bucket. Zero or
+	// negative means no quota.
+	MaxPerCaller int
 	// OnBatch, when non-nil, is called with the stats of every completed
 	// batch, after its callers have been released. Calls are serialised.
 	OnBatch func(BatchStats)
@@ -127,6 +165,10 @@ type BatchStats struct {
 	// Truncated counts the batch's queries with cut-short result sets
 	// (per-query limit reached, or the batch deadline fired first).
 	Truncated int
+	// Plan decomposes the batch's sharing groups by the engine that
+	// processed them (with per-engine wall time). Without a planner
+	// every group of a sharing run counts as shared.
+	Plan PlanStats
 	// Phases is the engine's four-phase time decomposition.
 	Phases timing.Breakdown
 }
@@ -175,6 +217,13 @@ type Totals struct {
 	UpdatesApplied int64
 	Compactions    int64
 	DeltaEdges     int
+	// Plan sums the per-batch planner decompositions: how many sharing
+	// groups each engine processed and where their wall time went.
+	Plan PlanStats
+	// Shed counts submissions rejected by admission control
+	// (ErrOverloaded); shed queries never ran and appear in no other
+	// counter.
+	Shed int64
 }
 
 // IndexHitRatio is the fraction of index probes answered from the
@@ -207,10 +256,79 @@ type Reply struct {
 // request is one caller's seat in a forming batch.
 type request struct {
 	q        query.Query
+	caller   string
 	collect  bool
 	enqueued time.Time
 	done     chan error // buffered; receives nil or the batch's error
 	reply    Reply
+}
+
+// admission is the bookkeeping behind MaxQueued/MaxPerCaller: a count
+// of admitted-but-undispatched queries, per-caller outstanding counts,
+// and the shed tally. nil when neither bound is configured, so the
+// unlimited path pays nothing.
+type admission struct {
+	maxQueued, maxPerCaller int
+
+	mu        sync.Mutex
+	queued    int
+	perCaller map[string]int
+	shed      int64
+}
+
+// admit reserves a seat, or returns a wrapped ErrOverloaded.
+func (a *admission) admit(caller string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.maxQueued > 0 && a.queued >= a.maxQueued {
+		a.shed++
+		return fmt.Errorf("service: %d queries queued (MaxQueued %d): %w",
+			a.queued, a.maxQueued, ErrOverloaded)
+	}
+	if a.maxPerCaller > 0 && a.perCaller[caller] >= a.maxPerCaller {
+		a.shed++
+		return fmt.Errorf("service: caller %q has %d queries outstanding (MaxPerCaller %d): %w",
+			caller, a.perCaller[caller], a.maxPerCaller, ErrOverloaded)
+	}
+	a.queued++
+	a.perCaller[caller]++
+	return nil
+}
+
+// abandon rolls a reservation back: the caller's context fired before
+// its request reached the collector.
+func (a *admission) abandon(caller string) {
+	a.mu.Lock()
+	a.queued--
+	a.decCallerLocked(caller)
+	a.mu.Unlock()
+}
+
+// dispatched moves n queries from queued to in flight.
+func (a *admission) dispatched(n int) {
+	a.mu.Lock()
+	a.queued -= n
+	a.mu.Unlock()
+}
+
+// resolved releases one caller's seat once its batch answered (or
+// failed); the fairness quota covers a query until its future resolves.
+func (a *admission) resolved(caller string) {
+	a.mu.Lock()
+	a.decCallerLocked(caller)
+	a.mu.Unlock()
+}
+
+func (a *admission) decCallerLocked(caller string) {
+	if a.perCaller[caller]--; a.perCaller[caller] <= 0 {
+		delete(a.perCaller, caller)
+	}
+}
+
+func (a *admission) shedCount() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.shed
 }
 
 // Service is a long-lived concurrent micro-batching query engine over
@@ -226,6 +344,15 @@ type Service struct {
 	// through: one cross-batch cache (or pooled builder) shared for the
 	// service's lifetime.
 	provider hcindex.Provider
+
+	// planner is the adaptive per-group cost model shared by every
+	// micro-batch; nil runs every group through the fixed engine.
+	planner *planner.CostModel
+
+	// adm books admission control; nil means unlimited. inflight is the
+	// batch-concurrency semaphore; nil means unbounded.
+	adm      *admission
+	inflight chan struct{}
 
 	submit chan *request
 
@@ -257,6 +384,23 @@ func New(g, gr *graph.Graph, cfg Config) *Service {
 		provider: provider,
 		submit:   make(chan *request, cfg.maxBatch()),
 	}
+	if cfg.Plan != nil {
+		popts := *cfg.Plan
+		if popts.IndexStats == nil {
+			popts.IndexStats = provider.Stats
+		}
+		s.planner = planner.New(popts)
+	}
+	if cfg.MaxQueued > 0 || cfg.MaxPerCaller > 0 {
+		s.adm = &admission{
+			maxQueued:    cfg.MaxQueued,
+			maxPerCaller: cfg.MaxPerCaller,
+			perCaller:    make(map[string]int),
+		}
+	}
+	if cfg.MaxInFlight > 0 {
+		s.inflight = make(chan struct{}, cfg.MaxInFlight)
+	}
 	s.wg.Add(1)
 	go s.collect()
 	return s
@@ -268,25 +412,40 @@ func New(g, gr *graph.Graph, cfg Config) *Service {
 // grow exponentially with K). The query is validated before it can join
 // a batch, so one malformed query cannot fail the queries it happened to
 // be batched with.
-func (s *Service) Submit(ctx context.Context, q query.Query, collect bool) (*Reply, error) {
+//
+// caller identifies the submitting client for the MaxPerCaller fairness
+// quota; pass "" when no quota is configured (anonymous callers share
+// one bucket). With admission control configured, Submit may shed the
+// query with ErrOverloaded before it enters the queue; once admitted, a
+// query is always answered.
+func (s *Service) Submit(ctx context.Context, caller string, q query.Query, collect bool) (*Reply, error) {
 	// Validation against the current snapshot stays valid for whichever
 	// later snapshot the batch runs on: updates only ever grow the
 	// vertex space.
 	if err := q.Validate(s.st.Current().Graph()); err != nil {
 		return nil, err
 	}
-	r := &request{q: q, collect: collect, enqueued: time.Now(), done: make(chan error, 1)}
+	r := &request{q: q, caller: caller, collect: collect, enqueued: time.Now(), done: make(chan error, 1)}
 
 	s.closing.RLock()
 	if s.closed {
 		s.closing.RUnlock()
 		return nil, ErrClosed
 	}
+	if s.adm != nil {
+		if err := s.adm.admit(caller); err != nil {
+			s.closing.RUnlock()
+			return nil, err
+		}
+	}
 	select {
 	case s.submit <- r:
 		s.closing.RUnlock()
 	case <-ctx.Done():
 		s.closing.RUnlock()
+		if s.adm != nil {
+			s.adm.abandon(caller)
+		}
 		return nil, ctx.Err()
 	}
 
@@ -338,6 +497,9 @@ func (s *Service) Stats() Totals {
 	t.UpdatesApplied = ss.UpdatesApplied
 	t.Compactions = ss.Compactions
 	t.DeltaEdges = ss.DeltaEdges
+	if s.adm != nil {
+		t.Shed = s.adm.shedCount()
+	}
 	return t
 }
 
@@ -376,9 +538,22 @@ func (s *Service) collect() {
 		}
 		b := batch
 		batch = nil
+		// Backpressure: with MaxInFlight configured the collector blocks
+		// here until a batch slot frees, so excess traffic accumulates in
+		// the queue (and Submit sheds at MaxQueued) instead of fanning
+		// out unbounded concurrent batches.
+		if s.inflight != nil {
+			s.inflight <- struct{}{}
+		}
+		if s.adm != nil {
+			s.adm.dispatched(len(b))
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			if s.inflight != nil {
+				defer func() { <-s.inflight }()
+			}
 			s.runBatch(b)
 		}()
 	}
@@ -429,6 +604,9 @@ func (s *Service) runBatch(batch []*request) {
 	engine := s.cfg.Engine
 	engine.Provider = s.provider
 	engine.Epoch = snap.Epoch()
+	if s.planner != nil {
+		engine.Planner = s.planner
+	}
 	t0 := time.Now()
 	var deadline time.Time
 	if s.cfg.QueryTimeout > 0 {
@@ -444,6 +622,9 @@ func (s *Service) runBatch(batch []*request) {
 		// and per-query errors.)
 		err = fmt.Errorf("service: batch of %d failed: %w", len(batch), err)
 		for _, r := range batch {
+			if s.adm != nil {
+				s.adm.resolved(r.caller)
+			}
 			r.done <- err
 		}
 		return
@@ -463,6 +644,7 @@ func (s *Service) runBatch(batch []*request) {
 		IndexHits:      st.IndexHits,
 		IndexMisses:    st.IndexMisses,
 		Truncated:      st.Truncated,
+		Plan:           st.Plan,
 		Phases:         st.Phases,
 	}
 	for _, r := range batch {
@@ -486,6 +668,7 @@ func (s *Service) runBatch(batch []*request) {
 	s.totals.IndexHits += int64(bs.IndexHits)
 	s.totals.IndexMisses += int64(bs.IndexMisses)
 	s.totals.Truncated += int64(bs.Truncated)
+	s.totals.Plan.Add(bs.Plan)
 	if ctrl.Err() == context.DeadlineExceeded {
 		s.totals.DeadlineBatches++
 	}
@@ -493,6 +676,9 @@ func (s *Service) runBatch(batch []*request) {
 
 	for _, r := range batch {
 		r.reply.Batch = bs
+		if s.adm != nil {
+			s.adm.resolved(r.caller)
+		}
 		r.done <- nil
 	}
 

@@ -36,7 +36,7 @@ func TestSingleQuery(t *testing.T) {
 		MaxWait: time.Millisecond,
 		Engine:  batchenum.Options{Algorithm: batchenum.BatchPlus},
 	})
-	r, err := s.Submit(context.Background(), query.Query{S: 0, T: 11, K: 5}, true)
+	r, err := s.Submit(context.Background(), "", query.Query{S: 0, T: 11, K: 5}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestCoalescing(t *testing.T) {
 		wg.Add(1)
 		go func(i int, q query.Query) {
 			defer wg.Done()
-			r, err := s.Submit(context.Background(), q, false)
+			r, err := s.Submit(context.Background(), "", q, false)
 			if err != nil {
 				t.Error(err)
 				return
@@ -119,7 +119,7 @@ func TestMaxBatchDispatch(t *testing.T) {
 		wg.Add(1)
 		go func(q query.Query) {
 			defer wg.Done()
-			if _, err := s.Submit(context.Background(), q, false); err != nil {
+			if _, err := s.Submit(context.Background(), "", q, false); err != nil {
 				t.Error(err)
 			}
 		}(q)
@@ -147,7 +147,7 @@ func TestValidationIsolation(t *testing.T) {
 	var badErr error
 	go func() {
 		defer wg.Done()
-		r, err := s.Submit(context.Background(), query.Query{S: 0, T: 11, K: 5}, false)
+		r, err := s.Submit(context.Background(), "", query.Query{S: 0, T: 11, K: 5}, false)
 		if err != nil {
 			t.Error(err)
 			return
@@ -156,7 +156,7 @@ func TestValidationIsolation(t *testing.T) {
 	}()
 	go func() {
 		defer wg.Done()
-		_, badErr = s.Submit(context.Background(), query.Query{S: 7, T: 7, K: 3}, false)
+		_, badErr = s.Submit(context.Background(), "", query.Query{S: 7, T: 7, K: 3}, false)
 	}()
 	wg.Wait()
 	if badErr == nil {
@@ -177,7 +177,7 @@ func TestContextCancellation(t *testing.T) {
 	})
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
-	if _, err := s.Submit(ctx, query.Query{S: 0, T: 11, K: 5}, false); err != context.DeadlineExceeded {
+	if _, err := s.Submit(ctx, "", query.Query{S: 0, T: 11, K: 5}, false); err != context.DeadlineExceeded {
 		t.Fatalf("err = %v, want DeadlineExceeded", err)
 	}
 	s.Close() // must not deadlock on the abandoned request
@@ -193,7 +193,7 @@ func TestClose(t *testing.T) {
 	})
 	done := make(chan int64, 1)
 	go func() {
-		r, err := s.Submit(context.Background(), query.Query{S: 0, T: 11, K: 5}, false)
+		r, err := s.Submit(context.Background(), "", query.Query{S: 0, T: 11, K: 5}, false)
 		if err != nil {
 			t.Error(err)
 			done <- -1
@@ -212,7 +212,7 @@ func TestClose(t *testing.T) {
 		t.Fatal("Close did not drain the pending batch")
 	}
 	s.Close() // idempotent
-	if _, err := s.Submit(context.Background(), query.Query{S: 0, T: 11, K: 5}, false); err != ErrClosed {
+	if _, err := s.Submit(context.Background(), "", query.Query{S: 0, T: 11, K: 5}, false); err != ErrClosed {
 		t.Fatalf("submit after close: %v, want ErrClosed", err)
 	}
 }
@@ -250,7 +250,7 @@ func TestResultsMatchSequential(t *testing.T) {
 			wg.Add(1)
 			go func(i int, q query.Query) {
 				defer wg.Done()
-				r, err := s.Submit(context.Background(), q, true)
+				r, err := s.Submit(context.Background(), "", q, true)
 				if err != nil {
 					t.Error(err)
 					return
@@ -290,7 +290,7 @@ func pathKey(p []graph.VertexID) string {
 func TestCrossBatchIndexCache(t *testing.T) {
 	q := query.Query{S: 0, T: 11, K: 5}
 	submit := func(s *Service) BatchStats {
-		r, err := s.Submit(context.Background(), q, false)
+		r, err := s.Submit(context.Background(), "", q, false)
 		if err != nil {
 			t.Fatal(err)
 		}
