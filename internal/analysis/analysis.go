@@ -1,0 +1,179 @@
+// Package analysis is a dependency-free reimplementation of the small
+// slice of golang.org/x/tools/go/analysis that the repository's custom
+// vetters need: an Analyzer runs over one type-checked package (a Pass)
+// and reports position-anchored Diagnostics. The repo vendors no
+// third-party modules, so the framework is built on the standard
+// library's go/ast, go/types and go/importer alone; the API mirrors
+// x/tools so the analyzers port mechanically if the dependency is ever
+// adopted.
+//
+// The five analyzers under internal/analysis/... encode the invariants
+// PRs 1–5 established by hand: cancellation polling in enumeration hot
+// loops (ctrlpoll), snapshot-derived index epochs (epochbind),
+// struct-field exhaustive stats merging (statsmerge), no blocking
+// operations under mutexes (locksend), and allocation-free annotated
+// hot paths (hotalloc). cmd/hcpathvet runs them all; see CONTRIBUTING
+// ("Static analysis invariants") for the annotation contract.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check. Run inspects the Pass's
+// package and reports findings through Pass.Report; a non-nil error
+// means the analyzer itself failed (not that the code has findings).
+type Analyzer struct {
+	Name string // short lower-case identifier, e.g. "ctrlpoll"
+	Doc  string // one-paragraph description of the invariant enforced
+	Run  func(*Pass) error
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic; set by the runner.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// ---------------------------------------------------------------------
+// Shared type predicates
+// ---------------------------------------------------------------------
+
+// Deref unwraps one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// IsNamed reports whether t — after one pointer dereference — is the
+// named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n, ok := Deref(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// ReceiverOf resolves a call expression to the method's receiver
+// expression and its type, or (nil, nil) for non-method calls.
+func ReceiverOf(info *types.Info, call *ast.CallExpr) (ast.Expr, types.Type) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	if info.Selections[sel] == nil {
+		return nil, nil // qualified identifier (pkg.Func), not a method
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil, nil
+	}
+	return sel.X, tv.Type
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes —
+// a declared function or method — or nil for calls of function-typed
+// values, builtins and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// ---------------------------------------------------------------------
+// hcpath: directives
+// ---------------------------------------------------------------------
+
+// directivePrefix introduces the repository's analyzer annotations,
+// e.g. //hcpath:noalloc or //hcpath:mergefields Totals -Epoch.
+const directivePrefix = "//hcpath:"
+
+// FuncDirective reports whether fn's doc comment carries the directive
+// //hcpath:<name> and returns the rest of that line (its arguments,
+// trimmed). The directive must start its own comment line.
+func FuncDirective(fn *ast.FuncDecl, name string) (args string, ok bool) {
+	if fn.Doc == nil {
+		return "", false
+	}
+	for _, c := range fn.Doc.List {
+		rest, found := strings.CutPrefix(c.Text, directivePrefix+name)
+		if !found {
+			continue
+		}
+		if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// Suppressions indexes a file's //hcpath: directive comments by line so
+// analyzers can honour statement-level opt-outs such as
+// //hcpath:locksend-ok <reason>. A suppression applies to findings on
+// its own line and on the line directly below (the full-line-comment-
+// above-the-statement idiom).
+type Suppressions struct {
+	fset   *token.FileSet
+	byLine map[int][]string
+}
+
+// SuppressionsFor scans file's comments for hcpath: directives.
+func SuppressionsFor(fset *token.FileSet, file *ast.File) *Suppressions {
+	s := &Suppressions{fset: fset, byLine: make(map[int][]string)}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			rest, found := strings.CutPrefix(c.Text, directivePrefix)
+			if !found {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			s.byLine[line] = append(s.byLine[line], rest)
+		}
+	}
+	return s
+}
+
+// Has reports whether directive name (with any arguments) is present on
+// pos's line or the line above it.
+func (s *Suppressions) Has(pos token.Pos, name string) bool {
+	line := s.fset.Position(pos).Line
+	for _, l := range []int{line, line - 1} {
+		for _, d := range s.byLine[l] {
+			if d == name || strings.HasPrefix(d, name+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}

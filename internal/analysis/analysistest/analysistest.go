@@ -1,0 +1,160 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixtures
+// themselves, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a comment of the form
+//
+//	// want `regexp` `regexp` ...
+//
+// on the line the diagnostic is expected at. Each backquoted (or
+// double-quoted) regexp must match the message of a distinct diagnostic
+// reported on that line; diagnostics on lines without a matching
+// expectation, and expectations no diagnostic matched, both fail the
+// test. Fixtures live under testdata/src/<pkg>/ and are ordinary Go
+// packages — they may import the repository's real packages, and their
+// in-package _test.go files are loaded too (epochbind's test-file
+// exemption relies on this).
+package analysistest
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one `want` regexp with its source location.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each fixture package from testdata/src/<pkg>, applies a,
+// and reports mismatches between diagnostics and want comments through
+// t.Errorf.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	for _, pkgName := range pkgs {
+		dir := filepath.Join(testdata, "src", pkgName)
+		pkg, err := loader.LoadDir(dir, pkgName, true)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", pkgName, err)
+			continue
+		}
+		findings, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on fixture %s: %v", a.Name, pkgName, err)
+			continue
+		}
+		checkExpectations(t, pkg, findings)
+	}
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		wants = append(wants, fileExpectations(t, pkg, f)...)
+	}
+	for _, d := range findings {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on d's line whose regexp
+// matches d's message, reporting whether one was found.
+func claim(wants []*expectation, d analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func fileExpectations(t *testing.T, pkg *analysis.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			for _, raw := range splitPatterns(text) {
+				re, err := regexp.Compile(raw)
+				if err != nil {
+					t.Errorf("%s: bad want regexp `%s`: %v", pos, raw, err)
+					continue
+				}
+				out = append(out, &expectation{
+					file: pos.Filename,
+					line: pos.Line,
+					re:   re,
+					raw:  raw,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// splitPatterns extracts the quoted regexps of a want comment's body,
+// accepting backquoted and double-quoted (Go syntax) strings.
+func splitPatterns(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return append(out, s[1:])
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Go-quoted string: the first unescaped quote closes it.
+			closed := false
+			for i := 1; i < len(s); i++ {
+				if s[i] != '"' || s[i-1] == '\\' {
+					continue
+				}
+				if dec, err := strconv.Unquote(s[:i+1]); err == nil {
+					out = append(out, dec)
+					s = s[i+1:]
+					closed = true
+				}
+				break
+			}
+			if !closed {
+				return out // unterminated or malformed; stop
+			}
+		default:
+			return out
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// A Loader parses and type-checks packages from source. It wraps the
+// standard library's source importer, so dependencies — both standard
+// and in-module — are themselves type-checked from source and cached
+// across LoadDir calls; no export data or third-party loader is needed.
+// The process must run inside the module (any subdirectory) for
+// in-module import paths to resolve.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader returns a Loader with a fresh FileSet and importer cache.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// LoadDir loads the package in dir under the given import path.
+// includeTests adds the package's in-package _test.go files (external
+// foo_test packages are never loaded) — the fixture harness uses this;
+// cmd/hcpathvet checks non-test sources only.
+func (l *Loader) LoadDir(dir, importPath string, includeTests bool) (*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: load %s: %w", dir, err)
+	}
+	names := append([]string{}, bp.GoFiles...)
+	if includeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(importPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      pkg,
+		TypesInfo:  info,
+	}, nil
+}
