@@ -1,0 +1,238 @@
+// Package ctrlpoll reports enumeration hot loops that scan graph
+// adjacency while a *query.Control is in scope but never poll it, the
+// cancellation-dead-loop class: a cancelled or deadline-blown run keeps
+// expanding until the loop finishes on its own.
+//
+// A function participates when it can reach a Control — through a
+// parameter or a receiver field. Within such a function, every loop
+// that scans adjacency (calls OutNeighbors/OutDegree on the graph or
+// store packages, directly or through a same-package helper that does
+// and is not itself handed the Control) must be covered by a
+// ctrl.Poll(&steps, &stopped) call somewhere in the function. Poll
+// increments the caller's step counter before masking it against
+// query.PollInterval, so per-step polling costs one increment and one
+// branch; see the PollInterval doc in repro/internal/query for the
+// masking contract the diagnostic points at.
+package ctrlpoll
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+const (
+	ctrlPkg  = "repro/internal/query"
+	graphPkg = "repro/internal/graph"
+	storePkg = "repro/internal/store"
+)
+
+// Analyzer is the ctrlpoll analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctrlpoll",
+	Doc:  "adjacency-scanning loops in Control-bearing functions must call ctrl.Poll",
+	Run:  run,
+}
+
+// summary is what one function contributes to the package-local scan
+// closure.
+type summary struct {
+	decl       *ast.FuncDecl
+	obj        *types.Func
+	directScan bool          // calls OutNeighbors/OutDegree itself
+	hasPoll    bool          // calls (*query.Control).Poll anywhere
+	hasCtrl    bool          // a Control is reachable from params/receiver
+	callees    []*types.Func // same-package callees
+}
+
+func run(pass *analysis.Pass) error {
+	sums := make(map[*types.Func]*summary)
+	var order []*summary
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			s := &summary{decl: fd, obj: obj, hasCtrl: hasControlAccess(obj)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isScanCall(pass.TypesInfo, call) {
+					s.directScan = true
+				}
+				if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil {
+					if fn.Name() == "Poll" && fn.Pkg() != nil && fn.Pkg().Path() == ctrlPkg {
+						s.hasPoll = true
+					}
+					if fn.Pkg() == pass.Pkg {
+						s.callees = append(s.callees, fn)
+					}
+				}
+				return true
+			})
+			sums[obj] = s
+			order = append(order, s)
+		}
+	}
+
+	// Package-local closure: a function scans if it scans directly or
+	// calls a same-package function that does.
+	scanner := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, s := range order {
+			if scanner[s.obj] {
+				continue
+			}
+			if s.directScan {
+				scanner[s.obj] = true
+				changed = true
+				continue
+			}
+			for _, c := range s.callees {
+				if scanner[c] {
+					scanner[s.obj] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, s := range order {
+		if !s.hasCtrl || s.hasPoll {
+			continue
+		}
+		checkLoops(pass, s, scanner)
+	}
+	return nil
+}
+
+// checkLoops reports, once per loop, the innermost loop enclosing each
+// unpolled adjacency scan in s.
+func checkLoops(pass *analysis.Pass, s *summary, scanner map[*types.Func]bool) {
+	type loopRange struct {
+		node       ast.Node
+		pos, end   token.Pos
+		reportedAt bool
+	}
+	var loops []*loopRange
+	var offenses []token.Pos
+	ast.Inspect(s.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, &loopRange{node: n, pos: n.Pos(), end: n.End()})
+		case *ast.CallExpr:
+			if isScanCall(pass.TypesInfo, n) {
+				offenses = append(offenses, n.Pos())
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, n)
+			if fn != nil && fn.Pkg() == pass.Pkg && scanner[fn] && !ctrlMonitored(pass.TypesInfo, n) {
+				offenses = append(offenses, n.Pos())
+			}
+		}
+		return true
+	})
+	for _, off := range offenses {
+		var innermost *loopRange
+		for _, l := range loops {
+			if off < l.pos || off >= l.end {
+				continue
+			}
+			if innermost == nil || l.pos > innermost.pos {
+				innermost = l
+			}
+		}
+		if innermost == nil || innermost.reportedAt {
+			continue
+		}
+		innermost.reportedAt = true
+		pass.Reportf(innermost.node.Pos(),
+			"loop scans adjacency but %s never calls (*query.Control).Poll; poll every expansion step with ctrl.Poll(&steps, &stopped) — Poll increments steps before masking against query.PollInterval (see repro/internal/query.PollInterval)",
+			s.obj.Name())
+	}
+}
+
+// hasControlAccess reports whether fn can reach a *query.Control: one
+// of its parameters is a Control, or its receiver's struct type carries
+// a Control field.
+func hasControlAccess(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isControl(params.At(i).Type()) {
+			return true
+		}
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return false
+	}
+	if isControl(recv.Type()) {
+		return true
+	}
+	return structHasControl(recv.Type())
+}
+
+func isControl(t types.Type) bool {
+	return analysis.IsNamed(t, ctrlPkg, "Control")
+}
+
+// structHasControl reports whether t (after deref) is a struct with a
+// Control-typed field.
+func structHasControl(t types.Type) bool {
+	st, ok := analysis.Deref(t).Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if isControl(st.Field(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isScanCall reports whether call is an adjacency probe: a method named
+// OutNeighbors or OutDegree on the graph or store packages.
+func isScanCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Name() != "OutNeighbors" && fn.Name() != "OutDegree" {
+		return false
+	}
+	path := fn.Pkg().Path()
+	return path == graphPkg || path == storePkg
+}
+
+// ctrlMonitored reports whether the call hands its callee a way to
+// observe cancellation: a Control argument, or a method receiver whose
+// struct carries a Control field.
+func ctrlMonitored(info *types.Info, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isControl(tv.Type) {
+			return true
+		}
+	}
+	if recv, rt := analysis.ReceiverOf(info, call); recv != nil {
+		if isControl(rt) || structHasControl(rt) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctrlpoll_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctrlpoll"
+)
+
+func TestCtrlpoll(t *testing.T) {
+	analysistest.Run(t, "../testdata", ctrlpoll.Analyzer, "ctrlpoll_a")
+}

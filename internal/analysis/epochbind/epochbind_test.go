@@ -1,0 +1,12 @@
+package epochbind_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/epochbind"
+)
+
+func TestEpochbind(t *testing.T) {
+	analysistest.Run(t, "../testdata", epochbind.Analyzer, "epochbind_a")
+}

@@ -1,0 +1,367 @@
+// Package locksend reports potentially blocking operations performed
+// while a sync.Mutex or sync.RWMutex is held — the service/collector
+// deadlock class: a channel send that blocks under a lock stalls every
+// other goroutine that needs the lock, including the one that would
+// have drained the channel.
+//
+// Flagged while a lock is held in the same function:
+//
+//   - channel sends, receives, selects, and ranges over channels;
+//   - sync.WaitGroup.Wait (sync.Cond.Wait is exempt — it requires the
+//     lock by contract and releases it while blocked);
+//   - calls of function-typed values (fields, variables, parameters):
+//     a callback can do anything, including re-entering the lock.
+//
+// Interface method calls and cross-package function calls are trusted —
+// flagging every dynamic dispatch would drown the signal; the analysis
+// is also purely intra-procedural and per-branch (a lock acquired and
+// released on every path of a branch statement is tracked through it).
+//
+// Deliberately blocking designs — a send whose consumer is guaranteed
+// live, a callback serialised under a dedicated mutex — opt out per
+// statement with
+//
+//	//hcpath:locksend-ok <why the blocking is bounded>
+//
+// on the statement's line or the line above. The reason is mandatory by
+// convention: the annotation documents a reviewed design, not a muted
+// warning.
+package locksend
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the locksend analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "locksend",
+	Doc:  "no channel operations, blocking sync calls, or callbacks under a mutex",
+	Run:  run,
+}
+
+const suppress = "locksend-ok"
+
+// acq records one live lock acquisition.
+type acq struct {
+	expr  string // canonical receiver text, e.g. "s.mu"
+	rlock bool
+	pos   token.Pos
+}
+
+type lockSet map[string]acq
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// intersect keeps acquisitions live in every surviving branch.
+func intersect(sets []lockSet) lockSet {
+	if len(sets) == 0 {
+		return lockSet{}
+	}
+	out := sets[0].clone()
+	for _, s := range sets[1:] {
+		for k := range out {
+			if _, ok := s[k]; !ok {
+				delete(out, k)
+			}
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass *analysis.Pass
+	supp *analysis.Suppressions
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		c := &checker{pass: pass, supp: analysis.SuppressionsFor(pass.Fset, f)}
+		// Every function body — declarations and literals — is its own
+		// lock scope; closures are assumed to run outside the critical
+		// section that created them.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c.block(n.Body.List, lockSet{})
+				}
+			case *ast.FuncLit:
+				c.block(n.Body.List, lockSet{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// block walks stmts linearly, threading the lock set; the bool result
+// reports control-flow termination (return/branch).
+func (c *checker) block(stmts []ast.Stmt, held lockSet) (lockSet, bool) {
+	held = held.clone()
+	for _, st := range stmts {
+		var term bool
+		held, term = c.stmt(st, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (c *checker) stmt(st ast.Stmt, held lockSet) (lockSet, bool) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return c.block(st.List, held)
+	case *ast.LabeledStmt:
+		return c.stmt(st.Stmt, held)
+	case *ast.ReturnStmt:
+		c.scan(st, held)
+		return held, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear flow; stop conservatively.
+		return held, true
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = c.stmt(st.Init, held)
+		}
+		c.scanExpr(st.Cond, held)
+		var surviving []lockSet
+		if thenSet, term := c.block(st.Body.List, held); !term {
+			surviving = append(surviving, thenSet)
+		}
+		if st.Else != nil {
+			if elseSet, term := c.stmt(st.Else, held); !term {
+				surviving = append(surviving, elseSet)
+			}
+		} else {
+			surviving = append(surviving, held)
+		}
+		if len(surviving) == 0 {
+			return held, true
+		}
+		return intersect(surviving), false
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			c.violation(st.Pos(), held, "select performs channel operations")
+		}
+		var surviving []lockSet
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			// The comm clause is the channel operation the select-level
+			// report already covers; only its body is walked.
+			if set, term := c.block(cc.Body, held); !term {
+				surviving = append(surviving, set)
+			}
+		}
+		if len(surviving) == 0 {
+			return held, true
+		}
+		return intersect(surviving), false
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			held, _ = c.stmt(st.Init, held)
+		}
+		c.scanExpr(st.Tag, held)
+		return c.caseClauses(st.Body, held)
+	case *ast.TypeSwitchStmt:
+		return c.caseClauses(st.Body, held)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = c.stmt(st.Init, held)
+		}
+		c.scanExpr(st.Cond, held)
+		c.block(st.Body.List, held)
+		return held, false
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if tv, ok := c.pass.TypesInfo.Types[st.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					c.violation(st.Pos(), held, "range receives from a channel")
+				}
+			}
+		}
+		c.scanExpr(st.X, held)
+		c.block(st.Body.List, held)
+		return held, false
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held to function end, which
+		// the linear walk models by simply not removing it; other
+		// deferred calls run outside the critical section scanned here.
+		return held, false
+	case *ast.GoStmt:
+		// Starting a goroutine does not block; its argument expressions
+		// are still evaluated under the lock.
+		for _, arg := range st.Call.Args {
+			c.scanExpr(arg, held)
+		}
+		return held, false
+	default:
+		c.scan(st, held)
+		return c.applyLockEffects(st, held), false
+	}
+}
+
+// caseClauses folds a switch body: every clause runs with the entry
+// set; the fall-out set is the intersection of surviving clauses and
+// the entry set itself (no clause may match).
+func (c *checker) caseClauses(body *ast.BlockStmt, held lockSet) (lockSet, bool) {
+	surviving := []lockSet{held}
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			c.scanExpr(e, held)
+		}
+		if set, term := c.block(cc.Body, held); !term {
+			surviving = append(surviving, set)
+		}
+	}
+	return intersect(surviving), false
+}
+
+// applyLockEffects updates held for a Lock/Unlock call statement.
+func (c *checker) applyLockEffects(st ast.Stmt, held lockSet) lockSet {
+	es, ok := st.(*ast.ExprStmt)
+	if !ok {
+		return held
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return held
+	}
+	name, recv := c.mutexMethod(call)
+	if recv == "" {
+		return held
+	}
+	switch name {
+	case "Lock", "RLock":
+		held = held.clone()
+		held[recv] = acq{expr: recv, rlock: name == "RLock", pos: call.Pos()}
+	case "Unlock", "RUnlock":
+		held = held.clone()
+		delete(held, recv)
+	}
+	return held
+}
+
+// mutexMethod resolves call to a sync.Mutex/RWMutex method name and the
+// canonical text of its receiver; recv is "" for anything else.
+func (c *checker) mutexMethod(call *ast.CallExpr) (name, recv string) {
+	fn := analysis.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	recvExpr, _ := analysis.ReceiverOf(c.pass.TypesInfo, call)
+	if recvExpr == nil {
+		return "", ""
+	}
+	return fn.Name(), c.exprString(recvExpr)
+}
+
+// scan inspects one non-branching statement for blocking operations,
+// skipping nested function literals (they execute later).
+func (c *checker) scan(n ast.Node, held lockSet) {
+	if len(held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			c.violation(n.Pos(), held, "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.violation(n.Pos(), held, "channel receive")
+			}
+		case *ast.CallExpr:
+			c.checkCall(n, held)
+		}
+		return true
+	})
+}
+
+func (c *checker) scanExpr(e ast.Expr, held lockSet) {
+	if e != nil {
+		c.scan(e, held)
+	}
+}
+
+// checkCall flags blocking sync calls and dynamic callback invocations.
+func (c *checker) checkCall(call *ast.CallExpr, held lockSet) {
+	if fn := analysis.CalleeFunc(c.pass.TypesInfo, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+			if _, rt := analysis.ReceiverOf(c.pass.TypesInfo, call); rt != nil && analysis.IsNamed(rt, "sync", "WaitGroup") {
+				c.violation(call.Pos(), held, "sync.WaitGroup.Wait")
+			}
+		}
+		return // static function or method call: trusted
+	}
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := c.pass.TypesInfo.Types[fun]; !ok || tv.IsType() {
+		return // conversion
+	}
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.Uses[fun].(*types.Var); ok && isFuncType(v.Type()) {
+			c.violation(call.Pos(), held, "call of function-typed value "+fun.Name)
+		}
+	case *ast.SelectorExpr:
+		if sel := c.pass.TypesInfo.Selections[fun]; sel != nil && sel.Kind() == types.FieldVal && isFuncType(sel.Type()) {
+			c.violation(call.Pos(), held, "call of function-typed field "+fun.Sel.Name)
+		}
+	}
+}
+
+func isFuncType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// violation reports what at pos unless a //hcpath:locksend-ok directive
+// covers the line.
+func (c *checker) violation(pos token.Pos, held lockSet, what string) {
+	if c.supp.Has(pos, suppress) {
+		return
+	}
+	var lock acq
+	for _, a := range held { // any held lock; deterministic enough for one
+		if lock.expr == "" || a.expr < lock.expr {
+			lock = a
+		}
+	}
+	kind := "Lock"
+	if lock.rlock {
+		kind = "RLock"
+	}
+	c.pass.Reportf(pos,
+		"%s while holding %s (%s'd at %s); a blocked operation under a mutex stalls every contender — move it outside the critical section, or annotate //hcpath:locksend-ok <reason> for a reviewed bounded-blocking design",
+		what, lock.expr, kind, c.pass.Fset.Position(lock.pos))
+}
+
+func (c *checker) exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, c.pass.Fset, e); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,12 @@
+package locksend_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/locksend"
+)
+
+func TestLocksend(t *testing.T) {
+	analysistest.Run(t, "../testdata", locksend.Analyzer, "locksend_a")
+}

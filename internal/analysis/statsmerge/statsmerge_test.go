@@ -1,0 +1,12 @@
+package statsmerge_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/statsmerge"
+)
+
+func TestStatsmerge(t *testing.T) {
+	analysistest.Run(t, "../testdata", statsmerge.Analyzer, "statsmerge_a")
+}

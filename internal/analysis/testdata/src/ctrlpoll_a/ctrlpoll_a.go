@@ -1,0 +1,125 @@
+// Package ctrlpoll_a exercises the ctrlpoll analyzer: adjacency loops
+// in Control-bearing functions must be covered by ctrl.Poll.
+package ctrlpoll_a
+
+import (
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// scanNoPoll consults Cancelled per path instead of Poll per step — the
+// cancellation-dead hot loop the analyzer exists for.
+func scanNoPoll(g *graph.Graph, ctrl *query.Control, v graph.VertexID) int {
+	n := 0
+	if ctrl.Cancelled() {
+		return 0
+	}
+	for _, w := range g.OutNeighbors(v) { // want `never calls \(\*query\.Control\)\.Poll`
+		n += int(w)
+	}
+	return n
+}
+
+// scanPoll is the reported fix applied: the same loop polling per step.
+func scanPoll(g *graph.Graph, ctrl *query.Control, v graph.VertexID) int {
+	n := 0
+	steps, stopped := 0, false
+	for _, w := range g.OutNeighbors(v) {
+		if ctrl.Poll(&steps, &stopped) {
+			return n
+		}
+		n += int(w)
+	}
+	return n
+}
+
+// bfs scans adjacency with no Control in sight; on its own that is fine
+// (index builds are not cancellable).
+func bfs(g *graph.Graph, v graph.VertexID) int {
+	n := 0
+	for _, w := range g.OutNeighbors(v) {
+		n += g.OutDegree(w)
+	}
+	return n
+}
+
+// driverUnmonitored hands work to a scanning helper that cannot observe
+// the Control — the transitive form of the dead loop.
+func driverUnmonitored(g *graph.Graph, ctrl *query.Control, frontier []graph.VertexID) int {
+	n := 0
+	if ctrl.Cancelled() {
+		return 0
+	}
+	for _, v := range frontier { // want `never calls \(\*query\.Control\)\.Poll`
+		n += bfs(g, v)
+	}
+	return n
+}
+
+// bfsCtrl is a scanning helper that does receive the Control and polls.
+func bfsCtrl(g *graph.Graph, ctrl *query.Control, v graph.VertexID) int {
+	n := 0
+	steps, stopped := 0, false
+	for _, w := range g.OutNeighbors(v) {
+		if ctrl.Poll(&steps, &stopped) {
+			return n
+		}
+		n += int(w)
+	}
+	return n
+}
+
+// driverMonitored passes its Control down to the scanner, so the inner
+// loops poll even though this function does not.
+func driverMonitored(g *graph.Graph, ctrl *query.Control, frontier []graph.VertexID) int {
+	n := 0
+	for _, v := range frontier {
+		n += bfsCtrl(g, ctrl, v)
+	}
+	return n
+}
+
+// walker carries its Control in a field; methods are checked like
+// functions.
+type walker struct {
+	g    *graph.Graph
+	ctrl *query.Control
+}
+
+func (w *walker) deadLoop(v graph.VertexID) int {
+	n := 0
+	for _, u := range w.g.OutNeighbors(v) { // want `never calls \(\*query\.Control\)\.Poll`
+		n += int(u)
+	}
+	return n
+}
+
+func (w *walker) liveLoop(v graph.VertexID) int {
+	n := 0
+	steps, stopped := 0, false
+	for _, u := range w.g.OutNeighbors(v) {
+		if w.ctrl.Poll(&steps, &stopped) {
+			return n
+		}
+		n += int(u)
+	}
+	return n
+}
+
+// methodMonitored loops over calls to a receiver that carries the
+// Control — monitored, no diagnostic.
+func methodMonitored(w *walker, frontier []graph.VertexID) int {
+	n := 0
+	for _, v := range frontier {
+		n += w.liveLoop(v)
+	}
+	return n
+}
+
+// straightLine probes adjacency outside any loop; nothing to poll.
+func straightLine(g *graph.Graph, ctrl *query.Control, v graph.VertexID) int {
+	if ctrl.Cancelled() {
+		return 0
+	}
+	return g.OutDegree(v)
+}

@@ -1,0 +1,17 @@
+package epochbind_a
+
+import (
+	"testing"
+
+	"repro/internal/batchenum"
+)
+
+// Tests pin epochs on purpose — the analyzer skips _test.go files, so
+// none of these constants are diagnosed.
+func TestFixtureEpochExemption(t *testing.T) {
+	opts := batchenum.Options{Epoch: 7}
+	opts.Epoch = 3
+	if opts.Epoch != 3 {
+		t.Fatal("unreachable")
+	}
+}

@@ -1,0 +1,113 @@
+// Package hotalloc_a exercises the hotalloc analyzer: //hcpath:noalloc
+// functions must not contain allocating constructs.
+package hotalloc_a
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+type counter interface {
+	Bump()
+}
+
+type point struct{ x, y int }
+
+//hcpath:noalloc
+func makesSlice(n int) []int {
+	return make([]int, n) // want `makesSlice is //hcpath:noalloc but calls make`
+}
+
+//hcpath:noalloc
+func newsValue() *point {
+	return new(point) // want `newsValue is //hcpath:noalloc but calls new`
+}
+
+//hcpath:noalloc
+func sliceLiteral() []int {
+	return []int{1, 2, 3} // want `sliceLiteral is //hcpath:noalloc but builds a slice literal`
+}
+
+//hcpath:noalloc
+func mapLiteral() map[int]int {
+	return map[int]int{1: 1} // want `mapLiteral is //hcpath:noalloc but builds a map literal`
+}
+
+//hcpath:noalloc
+func escapingLiteral() *point {
+	return &point{1, 2} // want `escapingLiteral is //hcpath:noalloc but takes the address of a composite literal`
+}
+
+//hcpath:noalloc
+func appendFresh(x, y []int) []int {
+	y = append(x, 1) // want `appendFresh is //hcpath:noalloc but appends to a destination other than its source`
+	return y
+}
+
+//hcpath:noalloc
+func appendInPlace(x []int, v int) []int {
+	x = append(x, v) // amortised allocation-free into the retained buffer
+	return x
+}
+
+//hcpath:noalloc
+func mapWrite(m map[int]int) {
+	m[1] = 2 // want `mapWrite is //hcpath:noalloc but writes to a map`
+}
+
+//hcpath:noalloc
+func concat(a, b string) string {
+	return a + b // want `concat is //hcpath:noalloc but concatenates strings`
+}
+
+//hcpath:noalloc
+func formats(v int) string {
+	return fmt.Sprintf("%d", v) // want `formats is //hcpath:noalloc but calls fmt\.Sprintf`
+}
+
+//hcpath:noalloc
+func closes(v int) func() int {
+	return func() int { return v } // want `closes is //hcpath:noalloc but creates a closure`
+}
+
+//hcpath:noalloc
+func spawns(ch chan int) {
+	go drain(ch) // want `spawns is //hcpath:noalloc but starts a goroutine`
+}
+
+//hcpath:noalloc
+func callsHelper(v int) int {
+	return helper(v) // want `callsHelper is //hcpath:noalloc but calls helper, which is not annotated`
+}
+
+//hcpath:noalloc
+func callsAnnotated(v int) int {
+	return annotatedHelper(v) // the guarantee composes: annotated callees are fine
+}
+
+//hcpath:noalloc
+func annotatedHelper(v int) int {
+	return v * 2
+}
+
+//hcpath:noalloc
+func crossPackage(p *int64) {
+	atomic.AddInt64(p, 1) // cross-package calls are trusted
+}
+
+//hcpath:noalloc
+func dynamicDispatch(c counter) {
+	c.Bump() // interface methods are trusted like a package boundary
+}
+
+// helper is not annotated, so callers under //hcpath:noalloc may not
+// lean on it — and it itself may allocate freely.
+func helper(v int) int {
+	buf := make([]int, v)
+	return len(buf)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}

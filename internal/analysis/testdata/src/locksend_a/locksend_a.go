@@ -1,0 +1,129 @@
+// Package locksend_a exercises the locksend analyzer: blocking
+// operations under a held mutex.
+package locksend_a
+
+import "sync"
+
+type server struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	ch     chan int
+	onDone func(int)
+	n      int
+}
+
+// sendUnderLock is the collector-deadlock shape itself.
+func (s *server) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// sendAfterUnlock is the reported fix applied: the critical section
+// ends before the send.
+func (s *server) sendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// receiveUnderRLock blocks readers and writers alike.
+func (s *server) receiveUnderRLock() int {
+	s.rw.RLock()
+	v := <-s.ch // want `channel receive while holding s\.rw`
+	s.rw.RUnlock()
+	return v
+}
+
+// selectUnderLock is reported once at the select.
+func (s *server) selectUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select performs channel operations while holding s\.mu`
+	case s.ch <- v:
+	default:
+	}
+}
+
+// rangeUnderLock drains a channel inside the critical section.
+func (s *server) rangeUnderLock() int {
+	total := 0
+	s.mu.Lock()
+	for v := range s.ch { // want `range receives from a channel while holding s\.mu`
+		total += v
+	}
+	s.mu.Unlock()
+	return total
+}
+
+// waitUnderLock joins goroutines that may need the lock to finish.
+func (s *server) waitUnderLock(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding s\.mu`
+}
+
+// callbackUnderLock invokes an arbitrary function field while locked;
+// it can do anything, including re-entering the lock.
+func (s *server) callbackUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onDone(v) // want `call of function-typed field onDone while holding s\.mu`
+}
+
+// paramUnderLock: same for a function-typed parameter.
+func (s *server) paramUnderLock(fn func()) {
+	s.mu.Lock()
+	fn() // want `call of function-typed value fn while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// suppressed documents a reviewed bounded-blocking design.
+func (s *server) suppressed(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//hcpath:locksend-ok consumer is guaranteed live while mu is held
+	s.ch <- v
+}
+
+// branchBalanced releases the lock on every path of the if before the
+// send; the branch-intersection tracking must not report it.
+func (s *server) branchBalanced(v int, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.n++
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+	}
+	s.ch <- v
+}
+
+// closureNotInherited: the literal runs later, outside this critical
+// section; only its capture is evaluated under the lock.
+func (s *server) closureNotInherited() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.n
+	return func() { s.ch <- v }
+}
+
+// condWait is exempt: sync.Cond.Wait requires the lock by contract and
+// releases it while blocked.
+func (s *server) condWait(c *sync.Cond) {
+	s.mu.Lock()
+	for s.n == 0 {
+		c.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// staticCall: calls with a statically known callee are trusted.
+func (s *server) staticCall() {
+	s.mu.Lock()
+	s.bump()
+	s.mu.Unlock()
+}
+
+func (s *server) bump() { s.n++ }

@@ -1,0 +1,78 @@
+// Package statsmerge_a exercises the statsmerge analyzer, including a
+// reproduction of the PR 5 drift: Plan and Shed were added to the
+// service totals and had to be wired through the merge path by hand.
+package statsmerge_a
+
+// Totals mirrors the service accumulator shape.
+type Totals struct {
+	Batches int
+	Queries int
+	Plan    int
+	Shed    int
+}
+
+// BatchStats is the per-batch report merged into Totals.
+type BatchStats struct {
+	Queries int
+	Plan    int
+	Shed    int
+}
+
+// addBatchDrifted excludes Shed deliberately but forgot Plan when the
+// field landed — the PR 5 scenario.
+//
+//hcpath:mergefields Totals -Shed
+func (t *Totals) addBatchDrifted(b BatchStats) { // want `addBatchDrifted does not merge field Plan of Totals`
+	t.Batches++
+	t.Queries += b.Queries
+}
+
+// addBatchFixed is the reported fix applied: Plan accumulated, Shed
+// still a reviewed omission.
+//
+//hcpath:mergefields Totals -Shed
+func (t *Totals) addBatchFixed(b BatchStats) {
+	t.Batches++
+	t.Queries += b.Queries
+	t.Plan += b.Plan
+}
+
+// Add is the canonical implicit merge shape — no directive needed —
+// and it forgot Shed.
+func (b *BatchStats) Add(o BatchStats) { // want `Add does not merge field Shed of BatchStats`
+	b.Queries += o.Queries
+	b.Plan += o.Plan
+}
+
+// Merge is the implicit shape done right.
+func (b *BatchStats) Merge(o BatchStats) {
+	b.Queries += o.Queries
+	b.Plan += o.Plan
+	b.Shed += o.Shed
+}
+
+// mergeByLiteral touches every field through a composite literal; keys
+// count as touches.
+//
+//hcpath:mergefields BatchStats
+func mergeByLiteral(a, b BatchStats) BatchStats {
+	return BatchStats{
+		Queries: a.Queries + b.Queries,
+		Plan:    a.Plan + b.Plan,
+		Shed:    a.Shed + b.Shed,
+	}
+}
+
+// staleExclusion excludes Plan on the directive yet merges it anyway.
+//
+//hcpath:mergefields BatchStats -Plan
+func (b *BatchStats) staleExclusion(o BatchStats) { // want `stale exclusion: staleExclusion merges field Plan of BatchStats`
+	b.Queries += o.Queries
+	b.Plan += o.Plan
+	b.Shed += o.Shed
+}
+
+// helper has no merge obligation: not Add/Merge, no directive.
+func helper(b BatchStats) int {
+	return b.Queries
+}
