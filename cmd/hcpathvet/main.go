@@ -1,0 +1,263 @@
+// Command hcpathvet runs the repository's custom static analyzers —
+// ctrlpoll, epochbind, statsmerge, locksend, hotalloc — over package
+// patterns, printing one line per finding and exiting non-zero when any
+// invariant is violated. It is the local pre-push check:
+//
+//	go run ./cmd/hcpathvet ./...
+//
+// and the CI lint job runs the same command. See CONTRIBUTING ("Static
+// analysis invariants") for what each analyzer enforces and how to
+// annotate deliberate exceptions.
+//
+// The binary also speaks the go vet unitchecker protocol (-V=full and
+// a single *.cfg argument), so a compiled hcpathvet works as
+//
+//	go vet -vettool=$(which hcpathvet) ./...
+//
+// In that mode imports are resolved from the export data the go command
+// supplies; the standalone mode type-checks everything from source and
+// needs no prior build.
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctrlpoll"
+	"repro/internal/analysis/epochbind"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/locksend"
+	"repro/internal/analysis/statsmerge"
+)
+
+// analyzers is the full suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	ctrlpoll.Analyzer,
+	epochbind.Analyzer,
+	statsmerge.Analyzer,
+	locksend.Analyzer,
+	hotalloc.Analyzer,
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hcpathvet: ")
+
+	args := os.Args[1:]
+	if len(args) == 1 && args[0] == "-V=full" {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// The go command probes for tool-specific flags before the cfg
+		// pass; this suite exposes none.
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: hcpathvet [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	os.Exit(standalone(patterns))
+}
+
+// standalone resolves patterns with the go command and type-checks each
+// package from source.
+func standalone(patterns []string) int {
+	pkgs, err := goList(patterns)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	loader := analysis.NewLoader()
+	exit := 0
+	for _, p := range pkgs {
+		pkg, err := loader.LoadDir(p.dir, p.importPath, false)
+		if err != nil {
+			log.Print(err)
+			exit = 1
+			continue
+		}
+		findings, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			log.Print(err)
+			exit = 1
+			continue
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+type listedPkg struct {
+	importPath string
+	dir        string
+}
+
+// goList expands package patterns via `go list`, skipping packages with
+// no non-test Go files.
+func goList(patterns []string) ([]listedPkg, error) {
+	cmdArgs := append([]string{"list", "-f", "{{.ImportPath}}\t{{.Dir}}\t{{len .GoFiles}}"}, patterns...)
+	cmd := exec.Command("go", cmdArgs...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+	var pkgs []listedPkg
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 || parts[2] == "0" {
+			continue
+		}
+		pkgs = append(pkgs, listedPkg{importPath: parts[0], dir: parts[1]})
+	}
+	return pkgs, nil
+}
+
+// ---------------------------------------------------------------------
+// go vet unitchecker protocol
+// ---------------------------------------------------------------------
+
+// printVersion answers `hcpathvet -V=full`, which the go command uses
+// to key its analysis cache on the tool's identity.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	data, err := os.ReadFile(os.Args[0])
+	if err != nil {
+		fmt.Printf("%s version devel\n", name)
+		return
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, sha256.Sum256(data))
+}
+
+// vetConfig mirrors the JSON the go command hands a -vettool for each
+// compilation unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs the suite over one compilation unit described by a
+// vet .cfg file, resolving imports from the export data the go command
+// already built.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		log.Printf("parsing %s: %v", cfgPath, err)
+		return 1
+	}
+	// The driver requires the facts file to exist even though these
+	// analyzers exchange none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		log.Print(err)
+		return 1
+	}
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	findings, err := analysis.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
