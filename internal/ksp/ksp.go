@@ -94,11 +94,11 @@ func OnePass(g, gr *graph.Graph, q query.Query, budget *Budget, emit func(path [
 }
 
 // OnePassControlled is OnePass under a query.Control: the expansion
-// loop polls for cancellation (returning false, like a blown budget)
-// and emissions are charged against q.ID's limit — since labels pop in
-// (hops, lexicographic) order, a limit of n yields exactly the n
-// canonically first paths, after which the run ends as complete. A nil
-// ctrl reproduces OnePass exactly.
+// loops poll for cancellation every step via ctrl.Poll (returning
+// false, like a blown budget) and emissions are charged against q.ID's
+// limit — since labels pop in (hops, lexicographic) order, a limit of
+// n yields exactly the n canonically first paths, after which the run
+// ends as complete. A nil ctrl reproduces OnePass exactly.
 func OnePassControlled(g, gr *graph.Graph, q query.Query, budget *Budget, ctrl *query.Control, emit func(path []graph.VertexID)) bool {
 	distToT := msbfs.FullDistances(gr, q.T)
 	if distToT[q.S] == msbfs.Unreachable {
@@ -107,8 +107,9 @@ func OnePassControlled(g, gr *graph.Graph, q query.Query, budget *Budget, ctrl *
 	}
 	pq := labelQueue{{path: []graph.VertexID{q.S}}}
 	heap.Init(&pq)
+	steps, stopped := 0, false
 	for pq.Len() > 0 {
-		if ctrl.Cancelled() {
+		if stopped || ctrl.Cancelled() {
 			return false
 		}
 		if ctrl.HitLimit(q.ID) {
@@ -129,6 +130,9 @@ func OnePassControlled(g, gr *graph.Graph, q query.Query, budget *Budget, ctrl *
 			continue
 		}
 		for _, w := range g.OutNeighbors(v) {
+			if ctrl.Poll(&steps, &stopped) {
+				return false
+			}
 			if distToT[w] == msbfs.Unreachable {
 				continue
 			}
@@ -191,14 +195,19 @@ func DkSP(g *graph.Graph, q query.Query, budget *Budget, emit func(path []graph.
 	return DkSPControlled(g, q, budget, nil, emit)
 }
 
-// DkSPControlled is DkSP under a query.Control: the deviation loop
-// polls for cancellation (returning false, like a blown budget) and
-// each accepted path is charged against q.ID's limit — outputs arrive
-// in (hops, lexicographic) order, so a limit of n yields exactly the n
-// canonically first paths and skips all further spur searches. A nil
-// ctrl reproduces DkSP exactly.
+// DkSPControlled is DkSP under a query.Control: the spur BFSes poll
+// for cancellation every expansion step via ctrl.Poll (returning
+// false, like a blown budget) and each accepted path is charged
+// against q.ID's limit — outputs arrive in (hops, lexicographic)
+// order, so a limit of n yields exactly the n canonically first paths
+// and skips all further spur searches. A nil ctrl reproduces DkSP
+// exactly.
 func DkSPControlled(g *graph.Graph, q query.Query, budget *Budget, ctrl *query.Control, emit func(path []graph.VertexID)) bool {
-	first := maskedShortestPath(g, q.S, q.T, nil, nil, budget)
+	steps, stopped := 0, false
+	first := maskedShortestPath(g, q.S, q.T, nil, nil, budget, ctrl, &steps, &stopped)
+	if stopped {
+		return false
+	}
 	if budget.Exceeded() {
 		return false
 	}
@@ -246,7 +255,10 @@ func DkSPControlled(g *graph.Graph, q query.Query, budget *Budget, ctrl *query.C
 			for _, v := range rootPrefix[:i] {
 				bannedVerts[v] = true
 			}
-			tail := maskedShortestPath(g, spur, q.T, bannedVerts, bannedEdges, budget)
+			tail := maskedShortestPath(g, spur, q.T, bannedVerts, bannedEdges, budget, ctrl, &steps, &stopped)
+			if stopped {
+				return false
+			}
 			if budget.Exceeded() {
 				return false
 			}
@@ -272,8 +284,11 @@ func DkSPControlled(g *graph.Graph, q query.Query, budget *Budget, ctrl *query.C
 
 // maskedShortestPath runs a BFS from s to t on g with banned vertices
 // and, for edges leaving s only, banned first-hop targets (Yen's spur
-// constraint). It returns the vertex sequence or nil.
-func maskedShortestPath(g *graph.Graph, s, t graph.VertexID, bannedVerts map[graph.VertexID]bool, bannedFirstHop map[graph.VertexID]bool, budget *Budget) []graph.VertexID {
+// constraint). It returns the vertex sequence or nil — nil also on
+// cancellation, which the caller detects via *stopped. steps/stopped
+// are the caller's Poll pair, shared across the run's many BFSes so
+// the PollInterval cadence spans them.
+func maskedShortestPath(g *graph.Graph, s, t graph.VertexID, bannedVerts map[graph.VertexID]bool, bannedFirstHop map[graph.VertexID]bool, budget *Budget, ctrl *query.Control, steps *int, stopped *bool) []graph.VertexID {
 	if s == t {
 		return []graph.VertexID{s}
 	}
@@ -286,6 +301,9 @@ func maskedShortestPath(g *graph.Graph, s, t graph.VertexID, bannedVerts map[gra
 			return nil
 		}
 		for _, w := range g.OutNeighbors(v) {
+			if ctrl.Poll(steps, stopped) {
+				return nil
+			}
 			if v == s && bannedFirstHop[w] {
 				continue
 			}
