@@ -36,6 +36,8 @@ func NewStore(pathHint, vertHint int) *Store {
 }
 
 // Add copies p into the arena and returns its index.
+//
+//hcpath:noalloc
 func (s *Store) Add(p []graph.VertexID) int {
 	if len(s.offs) == 0 {
 		s.offs = append(s.offs, 0)
@@ -47,6 +49,8 @@ func (s *Store) Add(p []graph.VertexID) int {
 
 // AddConcat copies the concatenation prefix+suffix as one path and
 // returns its index, avoiding an intermediate allocation.
+//
+//hcpath:noalloc
 func (s *Store) AddConcat(prefix, suffix []graph.VertexID) int {
 	if len(s.offs) == 0 {
 		s.offs = append(s.offs, 0)
@@ -156,14 +160,15 @@ func JoinHalvesIndexed(fwd *Store, h *HashIndex, k uint8, backHeavy bool, emit f
 // query.Control (see JoinHalvesControlled). Every emission first
 // reserves a slot on qid's limit; the first refusal ends the join, so
 // the engine learns the result set was truncated (one probe past the
-// limit) without enumerating the rest.
+// limit) without enumerating the rest. Cancellation is polled per
+// probe, not per forward path — a handful of forward paths can fan out
+// into arbitrarily large buckets, so a per-path cadence could run a
+// cancelled join to completion.
 func JoinHalvesIndexedControlled(fwd *Store, h *HashIndex, k uint8, backHeavy bool, ctrl *query.Control, qid int, emit func(path []graph.VertexID)) {
 	buf := make([]graph.VertexID, 0, int(k)+1)
+	steps, stopped := 0, false
 	for i := 0; i < fwd.Len(); i++ {
-		if ctrl.HitLimit(qid) {
-			return
-		}
-		if i&(query.PollInterval-1) == query.PollInterval-1 && ctrl.Cancelled() {
+		if stopped || ctrl.HitLimit(qid) {
 			return
 		}
 		pf := fwd.Path(i)
@@ -178,6 +183,9 @@ func JoinHalvesIndexedControlled(fwd *Store, h *HashIndex, k uint8, backHeavy bo
 				continue
 			}
 			h.Probe(meet, b, func(pb []graph.VertexID) {
+				if ctrl.Poll(&steps, &stopped) {
+					return // drain the bucket without emitting
+				}
 				if ctrl.HitLimit(qid) {
 					return // drain the bucket without emitting
 				}
