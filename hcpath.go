@@ -418,6 +418,10 @@ func queryErrs(ctrl *query.Control, n int) []error {
 	return errs
 }
 
+// statsOf projects the engine's internal counters onto the public
+// Stats; the directive keeps the projection exhaustive as fields land.
+//
+//hcpath:mergefields Stats
 func statsOf(st *batchenum.Stats) Stats {
 	ph := st.Phases
 	return Stats{

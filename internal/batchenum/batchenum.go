@@ -132,6 +132,23 @@ type Stats struct {
 	Plan PlanStats
 }
 
+// addGroup folds one worker's per-group counters into the batch stats;
+// callers hold the run's stats lock. The excluded fields are batch-
+// level, set once by the dispatcher rather than summed per group:
+// Phases is the run's wall-clock decomposition (per-worker CPU times
+// would double-count overlap), NumQueries/NumGroups/IndexHits/
+// IndexMisses come from validation, clustering and the index provider,
+// and Truncated is read off the run's Control at the end.
+//
+//hcpath:mergefields Stats -Phases -NumQueries -NumGroups -IndexHits -IndexMisses -Truncated
+func (st *Stats) addGroup(local *Stats) {
+	st.SharedNodes += local.SharedNodes
+	st.SharingEdges += local.SharingEdges
+	st.CachedPaths += local.CachedPaths
+	st.SplicedPaths += local.SplicedPaths
+	st.Plan.Add(local.Plan)
+}
+
 // Run enumerates every HC-s-t path of every query in the batch with the
 // selected engine, emitting results through sink keyed by query ID.
 // Queries are assigned IDs positionally and validated first.

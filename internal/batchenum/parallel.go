@@ -187,11 +187,7 @@ func parallelBatch(g, gr *graph.Graph, qs []query.Query, idx *hcindex.Index, opt
 				runGroup(g, gr, qs, idx, group, e, opts.Options, ctrl, sink, local, fan)
 				ms.drain(buf)
 				statsMu.Lock()
-				st.SharedNodes += local.SharedNodes
-				st.SharingEdges += local.SharingEdges
-				st.CachedPaths += local.CachedPaths
-				st.SplicedPaths += local.SplicedPaths
-				st.Plan.Add(local.Plan)
+				st.addGroup(local)
 				statsMu.Unlock()
 			}
 		}()

@@ -45,6 +45,8 @@ type DistMap struct {
 // comparison makes thresholded Views work on shared storage: a view's
 // dist array may hold distances beyond its Cap (written by the wider
 // parent map), and they must read as Unreachable.
+//
+//hcpath:noalloc
 func (d *DistMap) Dist(v graph.VertexID) uint8 {
 	if dv := d.dist[v]; dv <= d.Cap {
 		return dv
@@ -56,6 +58,8 @@ func (d *DistMap) Dist(v graph.VertexID) uint8 {
 // v ∈ Γ. It is the O(1) membership probe the similarity estimator uses.
 // The explicit Unreachable test matters at Cap = 255, where the Cap
 // comparison alone would admit unvisited vertices.
+//
+//hcpath:noalloc
 func (d *DistMap) Contains(v graph.VertexID) bool {
 	dv := d.dist[v]
 	return dv != Unreachable && dv <= d.Cap
@@ -93,6 +97,8 @@ func (d *DistMap) View(cap uint8) *DistMap {
 // sparsely — only the visited entries are cleared, far cheaper than an
 // n-byte memset when |Γ| ≪ n — restoring the pool's all-Unreachable
 // invariant. The map must not be used afterwards.
+//
+//hcpath:noalloc
 func (d *DistMap) Release() {
 	p := d.pool
 	if p == nil {
@@ -165,6 +171,7 @@ func (p *Pool) get(k int) (dists [][]uint8, visited [][]graph.VertexID) {
 	return dists, visited
 }
 
+//hcpath:noalloc
 func (p *Pool) put(dist []uint8, visited []graph.VertexID) {
 	p.mu.Lock()
 	p.dists = append(p.dists, dist)

@@ -89,6 +89,8 @@ func NewControl(ctx context.Context, deadline time.Time, limit int64, n int) *Co
 // deadline passed. The first true answer is latched, so after
 // cancellation the check is a single atomic load. Hot loops call this
 // every PollInterval expansion steps and unwind immediately on true.
+//
+//hcpath:noalloc
 func (c *Control) Cancelled() bool {
 	if c == nil {
 		return false
@@ -118,6 +120,8 @@ func (c *Control) Cancelled() bool {
 // latched value; callers return immediately on true. steps and stopped
 // are caller-owned (one pair per goroutine), which keeps Poll free of
 // shared mutable state.
+//
+//hcpath:noalloc
 func (c *Control) Poll(steps *int, stopped *bool) bool {
 	*steps++
 	if *stopped || (*steps&(PollInterval-1) == 0 && c.Cancelled()) {

@@ -127,6 +127,8 @@ type BufferSink struct {
 }
 
 // Emit implements Sink; it copies the path into the arena.
+//
+//hcpath:noalloc
 func (b *BufferSink) Emit(queryID int, path []graph.VertexID) {
 	b.ids = append(b.ids, int32(queryID))
 	b.verts = append(b.verts, path...)
@@ -144,6 +146,8 @@ func (b *BufferSink) Vertices() int { return len(b.verts) }
 // and resets the buffer, keeping its capacity. The replayed slices alias
 // the arena, honouring the Sink contract that paths are only valid
 // during the Emit call.
+//
+//hcpath:noalloc
 func (b *BufferSink) FlushTo(sink Sink) {
 	start := int32(0)
 	for i, id := range b.ids {

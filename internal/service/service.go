@@ -226,6 +226,35 @@ type Totals struct {
 	Shed int64
 }
 
+// addBatch folds one dispatched batch into the lifetime counters;
+// callers hold the service stats mutex. The excluded fields are not
+// per-batch sums: the index-cache and store gauges (IndexWidened,
+// IndexEvictions, IndexCacheBytes, Epoch, UpdatesApplied, Compactions,
+// DeltaEdges) are snapshotted by Stats at read time, and Shed counts
+// submissions that never became part of a batch.
+//
+//hcpath:mergefields Totals -IndexWidened -IndexEvictions -IndexCacheBytes -Epoch -UpdatesApplied -Compactions -DeltaEdges -Shed
+func (t *Totals) addBatch(bs BatchStats, deadline bool) {
+	t.Batches++
+	t.Queries += int64(bs.Queries)
+	if bs.Queries > t.LargestBatch {
+		t.LargestBatch = bs.Queries
+	}
+	t.Groups += int64(bs.Groups)
+	t.SharedQueries += int64(bs.SharedQueries)
+	t.SplicedPaths += bs.SplicedPaths
+	t.Paths += bs.Paths
+	t.WaitNanos += bs.WaitNanos
+	t.EnumerateNanos += bs.EnumerateNanos
+	t.IndexHits += int64(bs.IndexHits)
+	t.IndexMisses += int64(bs.IndexMisses)
+	t.Truncated += int64(bs.Truncated)
+	t.Plan.Add(bs.Plan)
+	if deadline {
+		t.DeadlineBatches++
+	}
+}
+
 // IndexHitRatio is the fraction of index probes answered from the
 // cross-batch cache.
 func (t Totals) IndexHitRatio() float64 {
@@ -438,6 +467,7 @@ func (s *Service) Submit(ctx context.Context, caller string, q query.Query, coll
 			return nil, err
 		}
 	}
+	//hcpath:locksend-ok bounded: the collector drains submit until Close wins s.closing exclusively, which this RLock prevents; ctx.Done bounds the wait regardless
 	select {
 	case s.submit <- r:
 		s.closing.RUnlock()
@@ -584,6 +614,12 @@ func (s *Service) collect() {
 // straight to the requester. The batch binds to the snapshot current at
 // dispatch: a concurrent ApplyUpdates never changes a running batch's
 // graph, only which snapshot the next batch picks up.
+// runBatch answers one dispatched batch on the current snapshot and
+// resolves every caller's future. The directive keeps the BatchStats
+// construction exhaustive: a field added to BatchStats must be filled
+// here or excluded explicitly.
+//
+//hcpath:mergefields BatchStats
 func (s *Service) runBatch(batch []*request) {
 	snap := s.st.Current()
 	dispatched := time.Now()
@@ -654,24 +690,7 @@ func (s *Service) runBatch(batch []*request) {
 	// Totals are updated before the futures resolve, so a caller that
 	// reads Stats right after its Submit returns sees its own batch.
 	s.mu.Lock()
-	s.totals.Batches++
-	s.totals.Queries += int64(len(batch))
-	if len(batch) > s.totals.LargestBatch {
-		s.totals.LargestBatch = len(batch)
-	}
-	s.totals.Groups += int64(bs.Groups)
-	s.totals.SharedQueries += int64(bs.SharedQueries)
-	s.totals.SplicedPaths += bs.SplicedPaths
-	s.totals.Paths += bs.Paths
-	s.totals.WaitNanos += bs.WaitNanos
-	s.totals.EnumerateNanos += bs.EnumerateNanos
-	s.totals.IndexHits += int64(bs.IndexHits)
-	s.totals.IndexMisses += int64(bs.IndexMisses)
-	s.totals.Truncated += int64(bs.Truncated)
-	s.totals.Plan.Add(bs.Plan)
-	if ctrl.Err() == context.DeadlineExceeded {
-		s.totals.DeadlineBatches++
-	}
+	s.totals.addBatch(bs, ctrl.Err() == context.DeadlineExceeded)
 	s.mu.Unlock()
 
 	for _, r := range batch {
@@ -684,6 +703,7 @@ func (s *Service) runBatch(batch []*request) {
 
 	if s.cfg.OnBatch != nil {
 		s.cbMu.Lock()
+		//hcpath:locksend-ok cbMu exists solely to serialise OnBatch callbacks; no other code acquires it, so a slow callback delays only other callbacks
 		s.cfg.OnBatch(bs)
 		s.cbMu.Unlock()
 	}
