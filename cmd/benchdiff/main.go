@@ -7,13 +7,17 @@
 //	benchdiff parse -in bench.txt -out BENCH.json
 //	benchdiff compare -baseline bench_baseline.json -current BENCH.json -threshold 25
 //
-// parse keeps the minimum ns/op per benchmark across -count repeats —
-// the least-noisy estimator of a benchmark's true cost on the machine —
-// and strips the -GOMAXPROCS suffix so baselines compare across core
+// parse keeps the minimum ns/op — and, when the run used -benchmem,
+// the minimum allocs/op — per benchmark across -count repeats (the
+// least-noisy estimator of a benchmark's true cost on the machine) and
+// strips the -GOMAXPROCS suffix so baselines compare across core
 // counts. compare exits non-zero when a benchmark present in the
 // baseline is slower than threshold percent in the current run, or has
 // disappeared from it; new benchmarks are reported but pass (commit a
-// refreshed baseline to start gating them).
+// refreshed baseline to start gating them). allocs/op is gated with
+// the same threshold, plus two hard edges: a zero-alloc baseline that
+// starts allocating fails outright, and a baseline with allocation
+// data rejects current runs that forgot -benchmem.
 package main
 
 import (
@@ -27,13 +31,18 @@ import (
 	"strings"
 )
 
-// Result is the committed JSON shape: benchmark name → min ns/op.
+// Result is the committed JSON shape: benchmark name → min ns/op and
+// min allocs/op.
 type Result struct {
 	// Note documents how the numbers were produced; free-form.
 	Note string `json:"note,omitempty"`
 	// NsPerOp maps benchmark name (sub-benchmarks included, -cpu
 	// suffix stripped) to its minimum ns/op across repeats.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp is the matching minimum allocs/op, present when the
+	// run was made with -benchmem. Baselines without it skip the
+	// allocation gate (pre-benchmem baselines stay loadable).
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 func main() {
@@ -74,14 +83,14 @@ func cmdParse(args []string) {
 		defer f.Close()
 		r = f
 	}
-	ns, err := parseBench(r)
+	ns, allocs, err := parseBench(r)
 	if err != nil {
 		fail("%v", err)
 	}
 	if len(ns) == 0 {
 		fail("no benchmark results found")
 	}
-	res := Result{Note: *note, NsPerOp: ns}
+	res := Result{Note: *note, NsPerOp: ns, AllocsPerOp: allocs}
 	enc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		fail("%v", err)
@@ -114,12 +123,20 @@ func cmdCompare(args []string) {
 	if err != nil {
 		fail("%v", err)
 	}
-	rows, bad := compare(base.NsPerOp, cur.NsPerOp, *threshold)
+	rows, bad := compare(base.NsPerOp, cur.NsPerOp, *threshold, "ns/op")
+	if len(base.AllocsPerOp) > 0 {
+		if len(cur.AllocsPerOp) == 0 {
+			bad = append(bad, "baseline has allocs/op but the current run has none; rerun the benchmarks with -benchmem")
+		} else {
+			arows, abad := compare(base.AllocsPerOp, cur.AllocsPerOp, *threshold, "allocs/op")
+			rows, bad = append(rows, arows...), append(bad, abad...)
+		}
+	}
 	for _, row := range rows {
 		fmt.Println(row)
 	}
 	if len(bad) > 0 {
-		fmt.Fprintf(os.Stderr, "\nbenchdiff: FAIL — %d benchmark(s) regressed past %.0f%% (or vanished):\n", len(bad), *threshold)
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: FAIL — %d metric(s) regressed past %.0f%% (or vanished):\n", len(bad), *threshold)
 		for _, b := range bad {
 			fmt.Fprintf(os.Stderr, "  %s\n", b)
 		}
@@ -144,45 +161,54 @@ func loadResult(path string) (Result, error) {
 	return res, nil
 }
 
-// parseBench extracts min ns/op per benchmark from `go test -bench`
-// output. Lines look like
+// parseBench extracts min ns/op — and min allocs/op when present — per
+// benchmark from `go test -bench` output. Lines look like
 //
-//	BenchmarkEngines/BatchEnum+-8   37   31714301 ns/op   16.10 queries/s
+//	BenchmarkEngines/BatchEnum+-8   37   31714301 ns/op   16.10 queries/s   1200 B/op   14 allocs/op
 //
-// Name and ns/op are the 1st and 3rd fields; the -N GOMAXPROCS suffix
-// is stripped so baselines survive core-count changes.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	ns := make(map[string]float64)
+// The name is the 1st field and each value precedes its unit; the -N
+// GOMAXPROCS suffix is stripped so baselines survive core-count
+// changes.
+func parseBench(r io.Reader) (ns, allocs map[string]float64, err error) {
+	ns = make(map[string]float64)
+	allocs = make(map[string]float64)
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for lineNo, line := range strings.Split(string(data), "\n") {
 		fields := strings.Fields(line)
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		var val float64
-		found := false
+		name := stripCPUSuffix(fields[0])
+		foundNs := false
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i], 64)
-				if err != nil {
-					return nil, fmt.Errorf("line %d: bad ns/op %q: %v", lineNo+1, fields[i], err)
-				}
-				val, found = v, true
-				break
+			unit := fields[i+1]
+			if unit != "ns/op" && unit != "allocs/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("line %d: bad %s %q: %v", lineNo+1, unit, fields[i], err)
+			}
+			m := allocs
+			if unit == "ns/op" {
+				m = ns
+				foundNs = true
+			}
+			if old, ok := m[name]; !ok || v < old {
+				m[name] = v
 			}
 		}
-		if !found {
-			continue
-		}
-		name := stripCPUSuffix(fields[0])
-		if old, ok := ns[name]; !ok || val < old {
-			ns[name] = val
+		if !foundNs {
+			delete(allocs, name) // malformed line: keep the maps aligned
 		}
 	}
-	return ns, nil
+	if len(allocs) == 0 {
+		allocs = nil
+	}
+	return ns, allocs, nil
 }
 
 // stripCPUSuffix drops a trailing -N (the GOMAXPROCS decoration).
@@ -197,10 +223,12 @@ func stripCPUSuffix(name string) string {
 	return name[:i]
 }
 
-// compare renders a delta table and collects the failures: benchmarks
-// slower than threshold percent, and baseline benchmarks missing from
-// the current run. New benchmarks pass with a note.
-func compare(base, cur map[string]float64, threshold float64) (rows, bad []string) {
+// compare renders a delta table for one metric and collects the
+// failures: benchmarks worse than threshold percent, benchmarks that
+// left a zero baseline (any regression from zero is infinite percent),
+// and baseline benchmarks missing from the current run. New benchmarks
+// pass with a note.
+func compare(base, cur map[string]float64, threshold float64, unit string) (rows, bad []string) {
 	names := make([]string, 0, len(base)+len(cur))
 	for name := range base {
 		names = append(names, name)
@@ -216,16 +244,23 @@ func compare(base, cur map[string]float64, threshold float64) (rows, bad []strin
 		c, inCur := cur[name]
 		switch {
 		case !inBase:
-			rows = append(rows, fmt.Sprintf("%-60s %12.0f ns/op  (new, not gated)", name, c))
+			rows = append(rows, fmt.Sprintf("%-60s %12.0f %s  (new, not gated)", name, c, unit))
 		case !inCur:
-			rows = append(rows, fmt.Sprintf("%-60s missing from current run", name))
-			bad = append(bad, fmt.Sprintf("%s: in baseline but not in current run", name))
+			rows = append(rows, fmt.Sprintf("%-60s missing from current run (%s)", name, unit))
+			bad = append(bad, fmt.Sprintf("%s: %s in baseline but not in current run", name, unit))
+		case b == 0:
+			row := fmt.Sprintf("%-60s %12.0f → %12.0f %s", name, b, c, unit)
+			if c > 0 {
+				row += "  REGRESSION"
+				bad = append(bad, fmt.Sprintf("%s: was allocation-free, now %.0f %s", name, c, unit))
+			}
+			rows = append(rows, row)
 		default:
 			pct := 100 * (c - b) / b
-			row := fmt.Sprintf("%-60s %12.0f → %12.0f ns/op  %+7.1f%%", name, b, c, pct)
+			row := fmt.Sprintf("%-60s %12.0f → %12.0f %s  %+7.1f%%", name, b, c, unit, pct)
 			if pct > threshold {
 				row += "  REGRESSION"
-				bad = append(bad, fmt.Sprintf("%s: %.1f%% slower (%.0f → %.0f ns/op)", name, pct, b, c))
+				bad = append(bad, fmt.Sprintf("%s: %.1f%% worse (%.0f → %.0f %s)", name, pct, b, c, unit))
 			}
 			rows = append(rows, row)
 		}

@@ -8,8 +8,8 @@ import (
 const sampleOutput = `goos: linux
 goarch: amd64
 pkg: repro
-BenchmarkEngines/BatchEnum+-8         	      37	  31714301 ns/op	        16.10 queries/s
-BenchmarkEngines/BatchEnum+-8         	      40	  29500000 ns/op	        17.00 queries/s
+BenchmarkEngines/BatchEnum+-8         	      37	  31714301 ns/op	        16.10 queries/s	 1300 B/op	      14 allocs/op
+BenchmarkEngines/BatchEnum+-8         	      40	  29500000 ns/op	        17.00 queries/s	 1200 B/op	      12 allocs/op
 BenchmarkEngines/BasicEnum-8          	      10	 100000000 ns/op
 BenchmarkServiceThroughput/Microbatched-8 	       5	 200000000 ns/op	      400.0 queries/s	       3.0 queries/batch
 PASS
@@ -17,7 +17,7 @@ ok  	repro	12.3s
 `
 
 func TestParseBench(t *testing.T) {
-	ns, err := parseBench(strings.NewReader(sampleOutput))
+	ns, allocs, err := parseBench(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,10 +34,27 @@ func TestParseBench(t *testing.T) {
 			t.Errorf("%s = %v, want %v", name, ns[name], v)
 		}
 	}
+	// allocs/op: min across repeats, and only for -benchmem lines.
+	if len(allocs) != 1 {
+		t.Fatalf("parsed %d alloc entries, want 1: %v", len(allocs), allocs)
+	}
+	if got := allocs["BenchmarkEngines/BatchEnum+"]; got != 12 {
+		t.Errorf("min allocs/op = %v, want 12", got)
+	}
+}
+
+func TestParseBenchNoBenchmem(t *testing.T) {
+	_, allocs, err := parseBench(strings.NewReader("BenchmarkX-8 10 100 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != nil {
+		t.Errorf("allocs = %v, want nil when no line carries allocs/op", allocs)
+	}
 }
 
 func TestParseBenchRejectsGarbageNsOp(t *testing.T) {
-	if _, err := parseBench(strings.NewReader("BenchmarkX-8 10 zzz ns/op\n")); err == nil {
+	if _, _, err := parseBench(strings.NewReader("BenchmarkX-8 10 zzz ns/op\n")); err == nil {
 		t.Fatal("garbage ns/op accepted")
 	}
 }
@@ -60,7 +77,7 @@ func TestCompare(t *testing.T) {
 	base := map[string]float64{"A": 100, "B": 100, "C": 100}
 	cur := map[string]float64{"A": 110, "B": 130, "D": 50}
 
-	rows, bad := compare(base, cur, 25)
+	rows, bad := compare(base, cur, 25, "ns/op")
 	if len(rows) != 4 {
 		t.Fatalf("%d rows, want 4: %v", len(rows), rows)
 	}
@@ -75,14 +92,25 @@ func TestCompare(t *testing.T) {
 	}
 
 	// Everything within a looser threshold (except the vanished C).
-	_, bad = compare(base, cur, 50)
+	_, bad = compare(base, cur, 50, "ns/op")
 	if len(bad) != 1 || !strings.HasPrefix(bad[0], "C:") {
 		t.Fatalf("loose threshold failures = %v, want only C", bad)
 	}
 
 	// Improvements never fail.
-	_, bad = compare(map[string]float64{"A": 100}, map[string]float64{"A": 10}, 25)
+	_, bad = compare(map[string]float64{"A": 100}, map[string]float64{"A": 10}, 25, "ns/op")
 	if len(bad) != 0 {
 		t.Fatalf("improvement flagged: %v", bad)
+	}
+}
+
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	// A zero-alloc baseline that starts allocating fails outright (the
+	// percentage is undefined); zero staying at zero passes.
+	base := map[string]float64{"Hot": 0, "Cold": 0}
+	cur := map[string]float64{"Hot": 3, "Cold": 0}
+	_, bad := compare(base, cur, 25, "allocs/op")
+	if len(bad) != 1 || !strings.HasPrefix(bad[0], "Hot:") {
+		t.Fatalf("failures = %v, want only Hot (0 -> 3 allocs/op)", bad)
 	}
 }
