@@ -56,6 +56,7 @@ func main() {
 		countOnly = flag.Bool("count", false, "print per-query counts instead of paths")
 		maxHops   = flag.Int("maxhops", 15, "maximum accepted hop constraint")
 		limit     = flag.Int64("limit", 0, "max result paths per query (0 = unlimited)")
+		buildWork = flag.Int("buildworkers", 0, "index-build MS-BFS goroutines (0 = sequential, -1 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "total enumeration deadline; replay: per-batch QueryTimeout (0 = none)")
 
 		replay      = flag.Bool("replay", false, "replay queries through the micro-batching service")
@@ -93,6 +94,7 @@ func main() {
 		MaxHops:         *maxHops,
 		Limit:           *limit,
 		IndexCacheBytes: cacheBytes,
+		BuildWorkers:    *buildWork,
 	}
 
 	if *updates != "" {

@@ -24,6 +24,7 @@ package hcpath
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -199,6 +200,14 @@ type Options struct {
 	// batches rarely repeat endpoints), while a Service caches with
 	// DefaultIndexCacheBytes — its whole point is repeated traffic.
 	IndexCacheBytes int64
+	// BuildWorkers parallelises the index-construction phase (the
+	// multi-source BFS passes that precede enumeration): positive runs
+	// each pass on that many goroutines with direction-optimizing
+	// push/pull levels, negative uses GOMAXPROCS, zero keeps the
+	// sequential reference kernel. Orthogonal to Workers, which
+	// parallelises the enumeration phase; results are identical either
+	// way.
+	BuildWorkers int
 }
 
 // DefaultIndexCacheBytes is the index-cache budget a Service uses when
@@ -208,6 +217,18 @@ const DefaultIndexCacheBytes = hcindex.DefaultCacheBytes
 // maxHopsLimit is the largest accepted hop constraint: queries carry K
 // as uint8 internally, so anything larger would silently truncate.
 const maxHopsLimit = 255
+
+// buildWorkers resolves Options.BuildWorkers to an exact goroutine
+// count: zero stays sequential, negative becomes GOMAXPROCS.
+func (o *Options) buildWorkers() int {
+	if o == nil || o.BuildWorkers == 0 {
+		return 0
+	}
+	if o.BuildWorkers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.BuildWorkers
+}
 
 func (o *Options) maxHops() int {
 	if o == nil || o.MaxHops <= 0 {
@@ -237,7 +258,7 @@ func NewEngine(g *Graph, opts *Options) *Engine {
 		e.opts = *opts
 	}
 	if e.opts.IndexCacheBytes > 0 {
-		e.provider = hcindex.NewCache(e.opts.IndexCacheBytes)
+		e.provider = hcindex.NewCacheWorkers(e.opts.IndexCacheBytes, e.opts.buildWorkers())
 	}
 	return e
 }
@@ -373,10 +394,11 @@ func (e *Engine) convert(qs []Query) ([]query.Query, error) {
 
 func (e *Engine) options() batchenum.Options {
 	return batchenum.Options{
-		Algorithm: e.opts.Algorithm.internal(),
-		Gamma:     e.opts.Gamma,
-		Detect:    sharegraph.Options{DisableSharing: e.opts.DisableSharing},
-		Provider:  e.provider,
+		Algorithm:    e.opts.Algorithm.internal(),
+		Gamma:        e.opts.Gamma,
+		Detect:       sharegraph.Options{DisableSharing: e.opts.DisableSharing},
+		Provider:     e.provider,
+		BuildWorkers: e.opts.buildWorkers(),
 	}
 }
 
@@ -657,6 +679,7 @@ func NewService(g *Graph, opts *ServiceOptions) *Service {
 			},
 			Workers:         o.Workers,
 			IndexCacheBytes: o.IndexCacheBytes,
+			BuildWorkers:    o.buildWorkers(),
 			OnBatch:         o.OnBatch,
 		}),
 		maxHops: o.maxHops(),

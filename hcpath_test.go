@@ -228,6 +228,30 @@ func TestWorkersBoundary(t *testing.T) {
 	}
 }
 
+// TestBuildWorkersBoundary pins the documented BuildWorkers semantics
+// at the public layer: 0 is the sequential reference kernel, negative
+// is GOMAXPROCS, positive is the literal count — identical results in
+// every combination with enumeration Workers and the index cache.
+func TestBuildWorkersBoundary(t *testing.T) {
+	g := paperGraph(t)
+	want := []int64{3, 3, 1, 2, 2}
+	for _, build := range []int{-1, 0, 1, 4} {
+		for _, cacheBytes := range []int64{0, 1 << 20} {
+			eng := NewEngine(g, &Options{Workers: 1, BuildWorkers: build, IndexCacheBytes: cacheBytes})
+			counts, _, err := eng.Count(paperQueries)
+			if err != nil {
+				t.Fatalf("buildworkers=%d cache=%d: %v", build, cacheBytes, err)
+			}
+			for i, w := range want {
+				if counts[i] != w {
+					t.Errorf("buildworkers=%d cache=%d: query %d count %d, want %d",
+						build, cacheBytes, i, counts[i], w)
+				}
+			}
+		}
+	}
+}
+
 // TestNewGraphErrors rejects a negative size.
 func TestNewGraphErrors(t *testing.T) {
 	if _, err := NewGraph(-1, nil); err == nil {

@@ -81,6 +81,14 @@ type Options struct {
 	// to it. nil keeps the fixed behaviour (every group through the
 	// sharing pipeline). The Basic engines have no groups and ignore it.
 	Planner GroupPlanner
+	// BuildWorkers sets the MS-BFS parallelism of the fallback cold
+	// builder used when Provider is nil: a positive count runs the
+	// index phase on that many goroutines with direction-optimizing
+	// push/pull levels, non-positive keeps the sequential reference
+	// kernel. Runs with an explicit Provider configure parallelism on
+	// the provider itself (hcindex.NewBuilderWorkers/NewCacheWorkers)
+	// and ignore this field.
+	BuildWorkers int
 }
 
 // acquire obtains the batch's index through the configured provider,
@@ -88,7 +96,7 @@ type Options struct {
 func (o Options) acquire(g, gr *graph.Graph, qs []query.Query) *hcindex.Index {
 	p := o.Provider
 	if p == nil {
-		p = hcindex.NewBuilder(false)
+		p = hcindex.NewBuilderWorkers(false, o.BuildWorkers)
 	}
 	return p.Acquire(g, gr, o.Epoch, qs)
 }

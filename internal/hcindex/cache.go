@@ -85,7 +85,8 @@ type binding struct {
 // demands, which is the "stale entries evict naturally" half of the
 // contract.
 type Cache struct {
-	maxBytes int64
+	maxBytes     int64
+	buildWorkers int
 
 	mu       sync.Mutex
 	bindings []*binding // most recently served first
@@ -100,17 +101,25 @@ type Cache struct {
 }
 
 // NewCache returns an empty cache bounded by maxBytes of dense-array
-// storage; non-positive means DefaultCacheBytes.
-func NewCache(maxBytes int64) *Cache {
+// storage; non-positive means DefaultCacheBytes. Miss builds run the
+// sequential reference kernel.
+func NewCache(maxBytes int64) *Cache { return NewCacheWorkers(maxBytes, 0) }
+
+// NewCacheWorkers is NewCache with a build-parallelism knob: a positive
+// workers count runs every miss-filling MS-BFS pass on that many
+// goroutines with direction-optimizing push/pull levels; non-positive
+// keeps the sequential reference kernel.
+func NewCacheWorkers(maxBytes int64, workers int) *Cache {
 	if maxBytes <= 0 {
 		maxBytes = DefaultCacheBytes
 	}
 	return &Cache{
-		maxBytes: maxBytes,
-		pools:    make(map[int]*msbfs.Pool),
-		entries:  make(map[entryKey]*entry),
-		caps:     make(map[dirVertex][]uint8),
-		lru:      list.New(),
+		maxBytes:     maxBytes,
+		buildWorkers: workers,
+		pools:        make(map[int]*msbfs.Pool),
+		entries:      make(map[entryKey]*entry),
+		caps:         make(map[dirVertex][]uint8),
+		lru:          list.New(),
 	}
 }
 
@@ -265,11 +274,14 @@ func (c *Cache) buildMisses(g, gr *graph.Graph, keys []entryKey, pool *msbfs.Poo
 		if len(sources) == 0 {
 			continue
 		}
-		on := g
+		// (g, gr) are mutually reverse by the Provider contract, so each
+		// direction's pass hands the kernel the other graph for pull levels.
+		on, rev := g, gr
 		if dir == Backward {
-			on = gr
+			on, rev = gr, g
 		}
-		for j, dm := range msbfs.MultiSourceIn(on, sources, caps, pool) {
+		opt := msbfs.BuildOptions{Workers: c.buildWorkers, Reverse: rev}
+		for j, dm := range msbfs.MultiSourceOpts(on, sources, caps, pool, opt) {
 			out[slots[j]] = dm
 		}
 	}

@@ -45,17 +45,21 @@ func (idx *Index) Release() {
 
 // Build constructs the index for the batch with two multi-source BFS
 // passes (one on G, one on Gr), deduplicating identical (vertex, cap)
-// sources so shared endpoints are traversed once.
+// sources so shared endpoints are traversed once. Build runs the
+// sequential reference kernel; providers carry the parallelism knob.
 func Build(g, gr *graph.Graph, queries []query.Query) *Index {
-	return buildIn(g, gr, queries, nil)
+	return buildIn(g, gr, queries, nil, 0)
 }
 
 // buildIn is Build drawing storage from pool (nil means plain
-// allocations).
-func buildIn(g, gr *graph.Graph, queries []query.Query, pool *msbfs.Pool) *Index {
+// allocations) with workers goroutines per MS-BFS pass (non-positive
+// means the sequential reference kernel). The (g, gr) pair is mutually
+// reverse by the Provider contract, so each pass hands the kernel the
+// other graph for Beamer-style pull levels.
+func buildIn(g, gr *graph.Graph, queries []query.Query, pool *msbfs.Pool, workers int) *Index {
 	idx := &Index{
-		fwd:    dedupRun(g, queries, pool, func(q query.Query) (graph.VertexID, uint8) { return q.S, q.K }),
-		bwd:    dedupRun(gr, queries, pool, func(q query.Query) (graph.VertexID, uint8) { return q.T, q.K }),
+		fwd:    dedupRun(g, gr, queries, pool, workers, func(q query.Query) (graph.VertexID, uint8) { return q.S, q.K }),
+		bwd:    dedupRun(gr, g, queries, pool, workers, func(q query.Query) (graph.VertexID, uint8) { return q.T, q.K }),
 		Misses: 2 * len(queries),
 	}
 	return idx
@@ -82,8 +86,10 @@ type srcKey struct {
 }
 
 // dedupRun runs one multi-source BFS for the distinct (vertex, cap)
-// pairs produced by pick, then fans results back out per query.
-func dedupRun(g *graph.Graph, queries []query.Query, pool *msbfs.Pool, pick func(query.Query) (graph.VertexID, uint8)) []*msbfs.DistMap {
+// pairs produced by pick, then fans results back out per query. rev is
+// the edge-reverse of g, enabling the kernel's pull direction when
+// workers selects the parallel engine.
+func dedupRun(g, rev *graph.Graph, queries []query.Query, pool *msbfs.Pool, workers int, pick func(query.Query) (graph.VertexID, uint8)) []*msbfs.DistMap {
 	slot := make(map[srcKey]int)
 	var sources []graph.VertexID
 	var caps []uint8
@@ -100,7 +106,7 @@ func dedupRun(g *graph.Graph, queries []query.Query, pool *msbfs.Pool, pick func
 		}
 		assign[i] = s
 	}
-	res := msbfs.MultiSourceIn(g, sources, caps, pool)
+	res := msbfs.MultiSourceOpts(g, sources, caps, pool, msbfs.BuildOptions{Workers: workers, Reverse: rev})
 	out := make([]*msbfs.DistMap, len(queries))
 	for i, s := range assign {
 		out[i] = res[s]

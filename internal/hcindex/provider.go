@@ -63,7 +63,8 @@ func (s Stats) HitRatio() float64 {
 // Release), so repeated batches stop paying the n-byte-per-source
 // allocation churn even without result caching.
 type Builder struct {
-	pooled bool
+	pooled  bool
+	workers int
 
 	mu   sync.Mutex
 	pool *msbfs.Pool // lazily sized to the graph seen
@@ -72,8 +73,16 @@ type Builder struct {
 }
 
 // NewBuilder returns a cold Provider; pooled selects dense-array
-// recycling.
+// recycling. Builds run the sequential reference kernel.
 func NewBuilder(pooled bool) *Builder { return &Builder{pooled: pooled} }
+
+// NewBuilderWorkers is NewBuilder with a build-parallelism knob: a
+// positive workers count runs every MS-BFS pass on that many goroutines
+// with direction-optimizing push/pull levels; non-positive keeps the
+// sequential reference kernel.
+func NewBuilderWorkers(pooled bool, workers int) *Builder {
+	return &Builder{pooled: pooled, workers: workers}
+}
 
 // Acquire implements Provider with a fresh build; a cold builder has no
 // cross-batch state, so the epoch only guards its pool sizing.
@@ -87,7 +96,7 @@ func (b *Builder) Acquire(g, gr *graph.Graph, _ uint64, queries []query.Query) *
 		pool = b.pool
 		b.mu.Unlock()
 	}
-	idx := buildIn(g, gr, queries, pool)
+	idx := buildIn(g, gr, queries, pool, b.workers)
 	if pool != nil {
 		idx.release = idx.releaseDistinct
 	}

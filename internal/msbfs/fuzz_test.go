@@ -1,0 +1,65 @@
+package msbfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzMultiSource differentially checks the chunked engines against
+// repeated Single runs: for a fuzzed graph, source multiset, cap mix,
+// worker count, and pull availability, MultiSourceOpts must agree with
+// one independent BFS per source on every visited set and distance.
+// Single itself goes through the sequential one-chunk path, so this
+// pins chunk packing, the parallel level loop, and the direction
+// switch against the simplest possible oracle composition.
+func FuzzMultiSource(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(0), false)
+	f.Add(int64(2), uint8(130), uint8(3), true)
+	f.Add(int64(3), uint8(70), uint8(8), true)
+	f.Add(int64(99), uint8(255), uint8(2), false)
+	f.Fuzz(func(t *testing.T, seed int64, nSrcRaw, workersRaw uint8, usePull bool) {
+		const n = 60
+		g := graph.GenRandom(n, 3, seed)
+		rng := rand.New(rand.NewSource(seed + 1))
+		nSrc := int(nSrcRaw)%140 + 1 // up to three chunks
+		workers := int(workersRaw) % 9
+		sources := make([]graph.VertexID, nSrc)
+		caps := make([]uint8, nSrc)
+		for i := range sources {
+			sources[i] = graph.VertexID(rng.Intn(n))
+			switch rng.Intn(5) {
+			case 0:
+				caps[i] = 0
+			case 1:
+				caps[i] = 255
+			default:
+				caps[i] = uint8(rng.Intn(6))
+			}
+		}
+		var rev *graph.Graph
+		if usePull {
+			rev = g.Reverse()
+		}
+		got := MultiSourceOpts(g, sources, caps, nil, BuildOptions{Workers: workers, Reverse: rev})
+		for i := range sources {
+			want := Single(g, sources[i], caps[i])
+			if got[i].Source != sources[i] || got[i].Cap != caps[i] {
+				t.Fatalf("result %d misaligned", i)
+			}
+			if got[i].NumVisited() != want.NumVisited() {
+				t.Fatalf("source %d (v=%d cap=%d): |Γ|=%d want %d",
+					i, sources[i], caps[i], got[i].NumVisited(), want.NumVisited())
+			}
+			for j, v := range want.Visited() {
+				if got[i].Visited()[j] != v {
+					t.Fatalf("source %d: visited[%d]=%d want %d", i, j, got[i].Visited()[j], v)
+				}
+				if got[i].Dist(v) != want.Dist(v) {
+					t.Fatalf("source %d vertex %d: dist %d want %d", i, v, got[i].Dist(v), want.Dist(v))
+				}
+			}
+		}
+	})
+}

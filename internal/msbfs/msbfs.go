@@ -116,13 +116,19 @@ func (d *DistMap) Release() {
 // slices) of DistMaps for one graph size, killing the n-byte-per-source
 // allocation churn of repeated index builds. Free arrays are kept clean
 // (every entry Unreachable), so acquisition skips the initialising
-// memset too. All methods are safe for concurrent use.
+// memset too. The pool also recycles per-chunk traversal scratch —
+// the seen/frontier/next bit-word arrays and the pre-sized flat
+// frontier vertex arrays — so chunkRun neither reallocates nor grows
+// them by append on every build. All methods are safe for concurrent
+// use, which is what lets independent 64-source chunks build
+// concurrently against one pool.
 type Pool struct {
 	n int
 
 	mu      sync.Mutex
 	dists   [][]uint8          // all entries Unreachable
 	visited [][]graph.VertexID // len 0, capacity retained
+	scratch []*chunkScratch    // all words zero, vert slices len 0
 	allocs  int64
 }
 
@@ -179,6 +185,61 @@ func (p *Pool) put(dist []uint8, visited []graph.VertexID) {
 	p.mu.Unlock()
 }
 
+// chunkScratch is the per-chunk traversal state: one uint64 word per
+// vertex for the seen/frontier/next bit sets, one mark bit per vertex
+// for the next-frontier membership bitmap the parallel repack scans,
+// and two flat vertex arrays pre-sized to n so the level loop never
+// grows them by append. Free scratch is kept clean (words zero, vert
+// slices length 0); chunkRun restores that invariant sparsely before
+// returning it.
+type chunkScratch struct {
+	seen, frontier, next []uint64
+	marks                []uint64 // ⌈n/64⌉ words
+	frontierVerts        []graph.VertexID
+	nextVerts            []graph.VertexID
+}
+
+func newChunkScratch(n int) *chunkScratch {
+	return &chunkScratch{
+		seen:          make([]uint64, n),
+		frontier:      make([]uint64, n),
+		next:          make([]uint64, n),
+		marks:         make([]uint64, (n+63)/64),
+		frontierVerts: make([]graph.VertexID, 0, n),
+		nextVerts:     make([]graph.VertexID, 0, n),
+	}
+}
+
+// acquireScratch hands out clean chunk scratch: pooled when p is
+// non-nil, freshly allocated otherwise.
+func acquireScratch(p *Pool, n int) *chunkScratch {
+	if p == nil {
+		return newChunkScratch(n)
+	}
+	p.mu.Lock()
+	if l := len(p.scratch); l > 0 {
+		s := p.scratch[l-1]
+		p.scratch = p.scratch[:l-1]
+		p.mu.Unlock()
+		return s
+	}
+	p.mu.Unlock()
+	return newChunkScratch(p.n)
+}
+
+// releaseScratch returns scratch to the pool; the caller must already
+// have restored the all-zero invariant. Unpooled scratch is dropped.
+//
+//hcpath:noalloc
+func releaseScratch(p *Pool, s *chunkScratch) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.scratch = append(p.scratch, s)
+	p.mu.Unlock()
+}
+
 // MultiSource runs hop-bounded BFSs from every source concurrently using
 // 64-way bit parallelism. caps[i] is the depth bound for sources[i];
 // len(caps) must equal len(sources). Results are positionally aligned
@@ -192,28 +253,14 @@ func MultiSource(g *graph.Graph, sources []graph.VertexID, caps []uint8) []*Dist
 // falls back to per-chunk flat allocations (never pooled, Release is a
 // no-op).
 func MultiSourceIn(g *graph.Graph, sources []graph.VertexID, caps []uint8, pool *Pool) []*DistMap {
-	if len(sources) != len(caps) {
-		panic("msbfs: len(sources) != len(caps)")
-	}
-	if pool != nil && pool.n != g.NumVertices() {
-		panic("msbfs: pool sized for a different graph")
-	}
-	results := make([]*DistMap, len(sources))
-	for lo := 0; lo < len(sources); lo += 64 {
-		hi := lo + 64
-		if hi > len(sources) {
-			hi = len(sources)
-		}
-		chunkRun(g, sources[lo:hi], caps[lo:hi], results[lo:hi], pool)
-	}
-	return results
+	return MultiSourceOpts(g, sources, caps, pool, BuildOptions{})
 }
 
-// chunkRun advances up to 64 bounded BFSs simultaneously.
-func chunkRun(g *graph.Graph, sources []graph.VertexID, caps []uint8, out []*DistMap, pool *Pool) {
+// setupChunk claims the chunk's distance storage (pooled or one flat
+// allocation) and returns the largest cap of the chunk.
+func setupChunk(g *graph.Graph, sources []graph.VertexID, caps []uint8, out []*DistMap, pool *Pool) (maxCap uint8) {
 	n := g.NumVertices()
 	k := len(sources)
-	maxCap := uint8(0)
 	if pool != nil {
 		// Pooled arrays arrive clean, so no initialisation pass.
 		dists, visited := pool.get(k)
@@ -239,43 +286,78 @@ func chunkRun(g *graph.Graph, sources []graph.VertexID, caps []uint8, out []*Dis
 			maxCap = caps[i]
 		}
 	}
-	seen := make([]uint64, n)
-	frontier := make([]uint64, n)
-	next := make([]uint64, n)
-	var frontierVerts, nextVerts []graph.VertexID
+	return maxCap
+}
 
-	record := func(v graph.VertexID, bits uint64, depth uint8) {
-		for bits != 0 {
-			slot := trailingZeros(bits)
-			bits &= bits - 1
-			out[slot].dist[v] = depth
-			out[slot].visited = append(out[slot].visited, v)
-		}
-	}
-
-	// Level 0: each source visits itself. Identical sources share a
-	// vertex word, which is fine — their bits simply travel together.
+// seedLevel runs level 0: each source visits itself. Identical sources
+// share a vertex word, which is fine — their bits simply travel
+// together. Returns the initial frontier vertex list (deduplicated via
+// the frontier words themselves).
+//
+//hcpath:noalloc
+func seedLevel(sources []graph.VertexID, out []*DistMap, seen, frontier []uint64, frontierVerts []graph.VertexID) []graph.VertexID {
 	for i, s := range sources {
 		bit := uint64(1) << uint(i)
-		if seen[s]&bit == 0 {
-			seen[s] |= bit
-			frontier[s] |= bit
+		if frontier[s] == 0 {
+			frontierVerts = append(frontierVerts, s)
 		}
+		seen[s] |= bit
+		frontier[s] |= bit
 		out[i].dist[s] = 0
 		out[i].visited = append(out[i].visited, s)
 	}
-	for _, s := range sources {
-		if frontier[s] != 0 {
-			frontierVerts = append(frontierVerts, s)
+	return frontierVerts
+}
+
+// recordWord writes one next-frontier vertex into every slot whose bit
+// is set: dist gets the level depth, the visited list grows by v.
+//
+//hcpath:noalloc
+func recordWord(out []*DistMap, v graph.VertexID, word uint64, depth uint8) {
+	for word != 0 {
+		slot := bits.TrailingZeros64(word)
+		word &= word - 1
+		out[slot].dist[v] = depth
+		out[slot].visited = append(out[slot].visited, v)
+	}
+}
+
+// resetScratch sparsely restores the scratch's all-zero invariant:
+// every word a chunk ever touched is indexed by some result's visited
+// list (bits only ever enter frontier/next together with seen), so
+// clearing at those indices — duplicates included — is exhaustive and
+// costs O(Σ|Γ|) instead of an n-word memset.
+//
+//hcpath:noalloc
+func resetScratch(out []*DistMap, seen, frontier, next []uint64) {
+	for i := range out {
+		for _, v := range out[i].visited {
+			seen[v] = 0
+			frontier[v] = 0
+			next[v] = 0
 		}
 	}
-	frontierVerts = dedupVerts(frontierVerts)
+}
 
-	for depth := uint8(1); depth <= maxCap && len(frontierVerts) > 0; depth++ {
+// chunkRun advances up to 64 bounded BFSs simultaneously: the
+// single-threaded push-only reference implementation the parallel
+// direction-optimizing variant (chunkRunPar) is proven against.
+func chunkRun(g *graph.Graph, sources []graph.VertexID, caps []uint8, out []*DistMap, pool *Pool) {
+	k := len(sources)
+	maxCap := setupChunk(g, sources, caps, out, pool)
+	sc := acquireScratch(pool, g.NumVertices())
+	seen, frontier, next := sc.seen, sc.frontier, sc.next
+	frontierVerts := seedLevel(sources, out, seen, frontier, sc.frontierVerts[:0])
+	nextVerts := sc.nextVerts[:0]
+
+	// depth is an int so a 255-hop cap cannot wrap the level counter
+	// (uint8 depth overflowed to 0 past level 255, mislabelling
+	// distances on graphs of diameter > 255).
+	for depth := 1; depth <= int(maxCap) && len(frontierVerts) > 0; depth++ {
 		// Only sources whose cap allows another hop keep propagating.
 		var active uint64
 		for i := 0; i < k; i++ {
-			if caps[i] >= depth {
+			if int(caps[i]) >= depth {
 				active |= uint64(1) << uint(i)
 			}
 		}
@@ -298,12 +380,15 @@ func chunkRun(g *graph.Graph, sources []graph.VertexID, caps []uint8, out []*Dis
 			}
 		}
 		for _, w := range nextVerts {
-			record(w, next[w], depth)
+			recordWord(out, w, next[w], uint8(depth))
 		}
 		frontier, next = next, frontier
 		frontierVerts = frontierVerts[:0]
 		frontierVerts, nextVerts = nextVerts, frontierVerts
 	}
+	resetScratch(out, seen, frontier, next)
+	sc.frontierVerts, sc.nextVerts = frontierVerts[:0], nextVerts[:0]
+	releaseScratch(pool, sc)
 	for i := range out {
 		sortVerts(out[i].visited)
 	}
@@ -345,20 +430,6 @@ func FullDistances(g *graph.Graph, source graph.VertexID) []uint8 {
 	return dist
 }
 
-func dedupVerts(vs []graph.VertexID) []graph.VertexID {
-	sortVerts(vs)
-	outIdx := 0
-	for i, v := range vs {
-		if i == 0 || v != vs[outIdx-1] {
-			vs[outIdx] = v
-			outIdx++
-		}
-	}
-	return vs[:outIdx]
-}
-
 func sortVerts(vs []graph.VertexID) {
 	slices.Sort(vs)
 }
-
-func trailingZeros(x uint64) int { return bits.TrailingZeros64(x) }

@@ -1,6 +1,7 @@
 package msbfs
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/graph"
@@ -9,26 +10,58 @@ import (
 // benchGraph is a mid-size community graph shared by the benchmarks.
 var benchGraph = graph.GenCommunityPowerLaw(20000, 200, 6, 0.97, 3)
 
-// benchSources picks 128 spread-out sources with cap 6.
-func benchSources() ([]graph.VertexID, []uint8) {
-	n := benchGraph.NumVertices()
-	sources := make([]graph.VertexID, 128)
-	caps := make([]uint8, 128)
+// benchReverse lazily builds benchGraph's reverse for the pull-enabled
+// variants, outside any timed region.
+var benchReverse = sync.OnceValue(func() *graph.Graph { return benchGraph.Reverse() })
+
+// benchDense is a dense Erdős–Rényi graph (avg out-degree 50) whose
+// middle BFS levels cross the Beamer threshold, exercising the pull
+// direction the community graph's sparse frontiers never reach.
+var benchDense = sync.OnceValue(func() *graph.Graph { return graph.GenErdosRenyi(4000, 200000, 7) })
+
+// benchSources picks spread-out sources with cap 6 on g.
+func benchSourcesOn(g *graph.Graph, nSrc int) ([]graph.VertexID, []uint8) {
+	n := g.NumVertices()
+	sources := make([]graph.VertexID, nSrc)
+	caps := make([]uint8, nSrc)
 	for i := range sources {
-		sources[i] = graph.VertexID(i * (n / 128))
+		sources[i] = graph.VertexID(i * (n / nSrc))
 		caps[i] = 6
 	}
 	return sources, caps
 }
 
+func benchSources() ([]graph.VertexID, []uint8) { return benchSourcesOn(benchGraph, 128) }
+
 // BenchmarkMultiSource measures the bit-parallel 64-way BFS, the index
-// construction path of every engine (Then et al. [36]).
+// construction path of every engine (Then et al. [36]): the sequential
+// reference kernel, the parallel direction-optimizing engine, and the
+// parallel engine on a dense graph where the Beamer heuristic selects
+// pull for the fat middle levels.
 func BenchmarkMultiSource(b *testing.B) {
-	sources, caps := benchSources()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		MultiSource(benchGraph, sources, caps)
+	// run measures one configuration with the pool pre-warmed by an
+	// untimed iteration, so allocs/op reports the steady state rather
+	// than warm-up amortised over whatever b.N the timer picked.
+	run := func(g *graph.Graph, sources []graph.VertexID, caps []uint8, opt BuildOptions) func(*testing.B) {
+		return func(b *testing.B) {
+			pool := NewPool(g.NumVertices())
+			for _, dm := range MultiSourceOpts(g, sources, caps, pool, opt) {
+				dm.Release()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, dm := range MultiSourceOpts(g, sources, caps, pool, opt) {
+					dm.Release()
+				}
+			}
+		}
 	}
+	sources, caps := benchSources()
+	b.Run("Seq", run(benchGraph, sources, caps, BuildOptions{}))
+	b.Run("Par", run(benchGraph, sources, caps, BuildOptions{Workers: 4, Reverse: benchReverse()}))
+	dense := benchDense()
+	denseSources, denseCaps := benchSourcesOn(dense, 64)
+	b.Run("PullDense", run(dense, denseSources, denseCaps, BuildOptions{Workers: 4, Reverse: dense.Reverse()}))
 }
 
 // BenchmarkRepeatedSingle is the ablation: the same work as

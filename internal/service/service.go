@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -89,6 +90,13 @@ type Config struct {
 	// cold-builds through a pooled builder, which still recycles the
 	// dense arrays).
 	IndexCacheBytes int64
+	// BuildWorkers sets the MS-BFS parallelism of the index provider
+	// behind every micro-batch: positive runs each index-building pass
+	// on that many goroutines with direction-optimizing push/pull
+	// levels, negative means GOMAXPROCS, zero keeps the sequential
+	// reference kernel. Orthogonal to Workers, which parallelises the
+	// enumeration phase.
+	BuildWorkers int
 	// CompactAfter tunes the versioned store behind ApplyUpdates: the
 	// delta folds into a fresh CSR base once its effective edge changes
 	// reach this count. Zero selects the store default, negative disables
@@ -401,11 +409,15 @@ type Service struct {
 // New starts a service answering queries on g (gr is its precomputed
 // reverse). The caller must Close it to release the collector.
 func New(g, gr *graph.Graph, cfg Config) *Service {
+	bw := cfg.BuildWorkers
+	if bw < 0 {
+		bw = runtime.GOMAXPROCS(0)
+	}
 	var provider hcindex.Provider
 	if cfg.IndexCacheBytes < 0 {
-		provider = hcindex.NewBuilder(true)
+		provider = hcindex.NewBuilderWorkers(true, bw)
 	} else {
-		provider = hcindex.NewCache(cfg.IndexCacheBytes) // 0 → default budget
+		provider = hcindex.NewCacheWorkers(cfg.IndexCacheBytes, bw) // 0 → default budget
 	}
 	s := &Service{
 		st:       store.NewWithReverse(g, gr, store.Options{CompactAfter: cfg.CompactAfter}),
