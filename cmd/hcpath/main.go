@@ -61,7 +61,11 @@ func main() {
 
 		replay      = flag.Bool("replay", false, "replay queries through the micro-batching service")
 		updates     = flag.String("updates", "", "update-replay: file interleaving add/del/query operations")
-		compact     = flag.Int("compactafter", 0, "update-replay: fold the delta after this many edge changes (0 = default)")
+		compact     = flag.Int("compactafter", 0, "update-replay: fold the delta after this many edge changes (0 = default, <0 = never)")
+		dataDir     = flag.String("datadir", "", "update-replay: durable store directory (WAL + snapshots); an existing directory warm-restarts and resumes the replay")
+		fsyncMode   = flag.String("fsync", "always", "update-replay with -datadir: WAL durability — always, interval, or off")
+		ckptEvery   = flag.Int("checkpointevery", 0, "update-replay with -datadir: snapshot after this many logged update blocks (0 = default, <0 = only at exit)")
+		crashAfter  = flag.Int("crashafter", 0, "update-replay: exit without cleanup after applying this many update blocks, simulating a crash (0 = never)")
 		clients     = flag.Int("clients", 16, "replay: concurrent client goroutines")
 		maxBatch    = flag.Int("maxbatch", 64, "replay: max queries coalesced per batch")
 		maxWait     = flag.Duration("maxwait", 2*time.Millisecond, "replay: batch formation window")
@@ -73,12 +77,24 @@ func main() {
 	)
 	flag.Parse()
 
-	if *graphPath == "" {
+	if *dataDir != "" && *updates == "" {
+		fail("-datadir requires -updates (update-replay is the durable mode)")
+	}
+	// With -datadir an existing data directory is the graph source; a
+	// -graph only seeds an empty directory.
+	var g *hcpath.Graph
+	if *graphPath != "" {
+		var err error
+		g, err = hcpath.LoadGraph(*graphPath)
+		if err != nil {
+			fail("load graph: %v", err)
+		}
+	} else if *dataDir == "" {
 		fail("missing -graph")
 	}
-	g, err := hcpath.LoadGraph(*graphPath)
+	fsync, err := hcpath.ParseFsyncPolicy(*fsyncMode)
 	if err != nil {
-		fail("load graph: %v", err)
+		fail("-fsync: %v", err)
 	}
 	algo, err := parseAlgo(*algoName)
 	if err != nil {
@@ -98,9 +114,23 @@ func main() {
 	}
 
 	if *updates != "" {
-		fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %s\n",
-			g.NumVertices(), g.NumEdges(), algo)
-		runUpdateReplay(g, *updates, opts, *maxBatch, *maxWait, *timeout, *compact, *verbose)
+		if g != nil {
+			fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %s\n",
+				g.NumVertices(), g.NumEdges(), algo)
+		} else {
+			fmt.Fprintf(os.Stderr, "graph: warm restart from %s; %s\n", *dataDir, algo)
+		}
+		runUpdateReplay(g, *updates, opts, updateReplayConfig{
+			maxBatch:        *maxBatch,
+			maxWait:         *maxWait,
+			queryTimeout:    *timeout,
+			compactAfter:    *compact,
+			verbose:         *verbose,
+			dataDir:         *dataDir,
+			fsync:           fsync,
+			checkpointEvery: *ckptEvery,
+			crashAfter:      *crashAfter,
+		})
 		return
 	}
 
@@ -360,26 +390,64 @@ func loadOps(path string) ([]op, error) {
 	return ops, nil
 }
 
+// updateReplayConfig carries runUpdateReplay's knobs.
+type updateReplayConfig struct {
+	maxBatch              int
+	maxWait, queryTimeout time.Duration
+	compactAfter          int
+	verbose               bool
+
+	dataDir         string
+	fsync           hcpath.FsyncPolicy
+	checkpointEvery int
+	crashAfter      int // exit uncleanly after this many applied blocks
+}
+
 // runUpdateReplay drives the service against a live graph: consecutive
 // queries form a wave submitted concurrently (so they micro-batch);
 // consecutive mutations form a block applied with one ApplyUpdates.
 // Waves complete before the next mutation block applies, so every query
 // deterministically sees the graph version current when its wave began.
-func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, maxBatch int, maxWait, queryTimeout time.Duration, compactAfter int, verbose bool) {
+//
+// With a -datadir, every applied block is one WAL record, so on a warm
+// restart the store's WALRecords count is exactly the replay cursor:
+// the first WALRecords blocks of the file (and the queries before them,
+// answered pre-crash) are skipped and the replay resumes where the
+// previous process stopped — surviving even a kill -9 mid-run.
+func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, cfg updateReplayConfig) {
 	ops, err := loadOps(path)
 	if err != nil {
 		fail("load updates: %v", err)
 	}
-	svc := hcpath.NewService(g, &hcpath.ServiceOptions{
+	so := &hcpath.ServiceOptions{
 		Options:      opts,
-		MaxBatch:     maxBatch,
-		MaxWait:      maxWait,
-		QueryTimeout: queryTimeout,
-		CompactAfter: compactAfter,
-	})
-	defer svc.Close()
+		MaxBatch:     cfg.maxBatch,
+		MaxWait:      cfg.maxWait,
+		QueryTimeout: cfg.queryTimeout,
+		CompactAfter: cfg.compactAfter,
+	}
+	var svc *hcpath.Service
+	var skip int64 // update blocks a previous run already applied
+	if cfg.dataDir != "" {
+		so.DataDir = cfg.dataDir
+		so.Fsync = cfg.fsync
+		so.CheckpointEvery = cfg.checkpointEvery
+		svc, err = hcpath.OpenService(g, so)
+		if err != nil {
+			fail("open durable service: %v", err)
+		}
+		if tot := svc.Totals(); tot.WALRecords > 0 {
+			skip = tot.WALRecords
+			st := svc.State()
+			fmt.Fprintf(os.Stderr, "recovered: epoch %d, %d vertices, %d edges, %d update blocks already applied\n",
+				st.Epoch, st.NumVertices, st.NumEdges, skip)
+		}
+	} else {
+		svc = hcpath.NewService(g, so)
+	}
 
 	var queries, failed, truncated, updates int64
+	var skipped, applied int64 // update blocks: caught up vs applied this run
 	t0 := time.Now()
 
 	var wave sync.WaitGroup
@@ -387,21 +455,38 @@ func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, maxBatch
 	var adds, dels []hcpath.Edge
 	pendingAdd := map[hcpath.Edge]bool{}
 	pendingDel := map[hcpath.Edge]bool{}
+	discardBlock := func() {
+		adds, dels = nil, nil
+		clear(pendingAdd)
+		clear(pendingDel)
+	}
 	flushUpdates := func() {
 		if len(adds) == 0 && len(dels) == 0 {
+			return
+		}
+		if skipped < skip {
+			// This block is already in the recovered state; consume it
+			// without re-applying.
+			skipped++
+			discardBlock()
 			return
 		}
 		epoch, err := svc.ApplyUpdates(adds, dels)
 		if err != nil {
 			fail("apply updates: %v", err)
 		}
+		applied++
 		updates += int64(len(adds) + len(dels))
-		if verbose {
+		if cfg.verbose {
 			fmt.Fprintf(os.Stderr, "applied %d adds, %d dels → epoch %d\n", len(adds), len(dels), epoch)
 		}
-		adds, dels = nil, nil
-		clear(pendingAdd)
-		clear(pendingDel)
+		discardBlock()
+		if cfg.crashAfter > 0 && applied >= int64(cfg.crashAfter) {
+			// Simulated crash: no Close, no final checkpoint, no WAL
+			// drain beyond what the fsync policy already guaranteed.
+			fmt.Fprintf(os.Stderr, "crash: exiting after %d applied update blocks at epoch %d\n", applied, epoch)
+			os.Exit(137)
+		}
 	}
 
 	for _, o := range ops {
@@ -425,6 +510,9 @@ func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, maxBatch
 			pendingDel[o.edge] = true
 		default:
 			flushUpdates()
+			if skipped < skip {
+				continue // answered by the previous run, before the crash
+			}
 			queries++
 			wave.Add(1)
 			waveEpoch := svc.Epoch()
@@ -432,7 +520,7 @@ func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, maxBatch
 				defer wave.Done()
 				switch count, _, err := svc.Count(context.Background(), q); {
 				case err == nil:
-					if verbose {
+					if cfg.verbose {
 						fmt.Fprintf(os.Stderr, "q(s=%d,t=%d,k=%d) @epoch %d: %d paths\n",
 							q.S, q.T, q.K, waveEpoch, count)
 					}
@@ -455,6 +543,18 @@ func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, maxBatch
 	fmt.Printf("epoch %d (%d effective edge changes, %d compactions, %d delta edges pending), %d batches, %d paths\n",
 		tot.Epoch, tot.UpdatesApplied, tot.Compactions, tot.DeltaEdges, tot.Batches, tot.Paths)
 	fmt.Println(cacheLine(tot))
+	if cfg.dataDir != "" {
+		st := svc.State()
+		if err := svc.Close(); err != nil {
+			fail("close durable service: %v", err)
+		}
+		fmt.Printf("wal: %d records, %d checkpoints, snapshot epoch %d\n",
+			tot.WALRecords, tot.Checkpoints, tot.SnapshotEpoch)
+		fmt.Printf("state: epoch %d, n %d, m %d, crc %08x\n",
+			st.Epoch, st.NumVertices, st.NumEdges, st.Checksum)
+	} else {
+		svc.Close()
+	}
 }
 
 // cacheLine renders the replay report's index-cache summary from the

@@ -36,6 +36,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/service"
 	"repro/internal/sharegraph"
+	"repro/internal/store"
 	"repro/internal/timing"
 )
 
@@ -640,7 +641,50 @@ type ServiceOptions struct {
 	// OnBatch, when non-nil, observes every completed batch's stats;
 	// calls are serialised.
 	OnBatch func(BatchStats)
+	// DataDir, when non-empty, makes the graph store durable: every
+	// ApplyUpdates is appended to a CRC-framed write-ahead log under
+	// this directory before its epoch publishes, periodic checkpoint
+	// files capture the full graph, and OpenService warm-restarts from
+	// the directory's contents — reaching the exact pre-crash epoch and
+	// edge set. Only OpenService honours it; NewService (which cannot
+	// report I/O errors) panics when it is set.
+	DataDir string
+	// Fsync selects when WAL appends reach stable storage when DataDir
+	// is set: FsyncAlways (the default — an acknowledged update survives
+	// any crash), FsyncInterval (background sync every SyncEvery; at
+	// most one interval of acknowledged updates lost), or FsyncOff
+	// (sync only at checkpoints and Close; for bulk loads).
+	Fsync FsyncPolicy
+	// SyncEvery is the FsyncInterval ticker period; zero selects the
+	// store default (100ms).
+	SyncEvery time.Duration
+	// CheckpointEvery is the background checkpoint cadence in logged
+	// update records; zero selects the store default (1024), negative
+	// leaves checkpoints to Close and Service.Checkpoint. A checkpoint
+	// is also written right after every compaction.
+	CheckpointEvery int
 }
+
+// FsyncPolicy selects when WAL appends reach stable storage; see
+// ServiceOptions.Fsync.
+type FsyncPolicy = store.FsyncPolicy
+
+// The WAL durability policies, re-exported from the store layer.
+const (
+	FsyncAlways   = store.FsyncAlways
+	FsyncInterval = store.FsyncInterval
+	FsyncOff      = store.FsyncOff
+)
+
+// ParseFsyncPolicy parses the spellings FsyncPolicy.String produces —
+// "always", "interval", "off" — the way the CLI's -fsync flag does.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return store.ParseFsyncPolicy(s) }
+
+// StoreState identifies a graph snapshot's logical content — epoch,
+// sizes, and a checksum over the canonical CSR serialization — for
+// cross-process comparison: a warm-restarted service and its pre-crash
+// original must agree on all four fields. See Service.State.
+type StoreState = store.State
 
 // Service is a long-lived concurrent query server over one graph: many
 // goroutines submit single queries, the service micro-batches whatever
@@ -653,37 +697,73 @@ type Service struct {
 	maxHops int
 }
 
-// NewService starts a micro-batching query service on g. nil opts
-// selects the defaults: BatchEnum+ (γ = 0.5) parallel across sharing
-// groups, batches of ≤ 64 queries formed over ≤ 2ms windows.
+// config lowers the public options onto the internal service config.
+func (o ServiceOptions) config() service.Config {
+	return service.Config{
+		MaxBatch:     o.MaxBatch,
+		MaxWait:      o.MaxWait,
+		QueryTimeout: o.QueryTimeout,
+		Limit:        o.Limit,
+		CompactAfter: o.CompactAfter,
+		Plan:         o.Planner,
+		MaxInFlight:  o.MaxInFlight,
+		MaxQueued:    o.MaxQueued,
+		MaxPerCaller: o.MaxPerCaller,
+		Engine: batchenum.Options{
+			Algorithm: o.Algorithm.internal(),
+			Gamma:     o.Gamma,
+			Detect:    sharegraph.Options{DisableSharing: o.DisableSharing},
+		},
+		Workers:         o.Workers,
+		IndexCacheBytes: o.IndexCacheBytes,
+		BuildWorkers:    o.buildWorkers(),
+		OnBatch:         o.OnBatch,
+		DataDir:         o.DataDir,
+		Fsync:           o.Fsync,
+		SyncEvery:       o.SyncEvery,
+		CheckpointEvery: o.CheckpointEvery,
+	}
+}
+
+// NewService starts an in-memory micro-batching query service on g.
+// nil opts selects the defaults: BatchEnum+ (γ = 0.5) parallel across
+// sharing groups, batches of ≤ 64 queries formed over ≤ 2ms windows.
+// Setting ServiceOptions.DataDir panics — durability involves I/O that
+// can fail, so it is only available through OpenService.
 func NewService(g *Graph, opts *ServiceOptions) *Service {
 	var o ServiceOptions
 	if opts != nil {
 		o = *opts
 	}
-	return &Service{
-		svc: service.New(g.g, g.gr, service.Config{
-			MaxBatch:     o.MaxBatch,
-			MaxWait:      o.MaxWait,
-			QueryTimeout: o.QueryTimeout,
-			Limit:        o.Limit,
-			CompactAfter: o.CompactAfter,
-			Plan:         o.Planner,
-			MaxInFlight:  o.MaxInFlight,
-			MaxQueued:    o.MaxQueued,
-			MaxPerCaller: o.MaxPerCaller,
-			Engine: batchenum.Options{
-				Algorithm: o.Algorithm.internal(),
-				Gamma:     o.Gamma,
-				Detect:    sharegraph.Options{DisableSharing: o.DisableSharing},
-			},
-			Workers:         o.Workers,
-			IndexCacheBytes: o.IndexCacheBytes,
-			BuildWorkers:    o.buildWorkers(),
-			OnBatch:         o.OnBatch,
-		}),
-		maxHops: o.maxHops(),
+	if o.DataDir != "" {
+		panic("hcpath: ServiceOptions.DataDir requires OpenService, which can report I/O errors")
 	}
+	return &Service{svc: service.New(g.g, g.gr, o.config()), maxHops: o.maxHops()}
+}
+
+// OpenService is NewService with durability: when opts.DataDir is set,
+// updates are write-ahead logged and checkpointed under that
+// directory, and an existing directory warm-restarts the service at
+// its pre-crash epoch and edge set — g then only seeds an empty
+// directory (the on-disk state wins) and may be nil to require
+// existing state or start empty. With an empty DataDir it behaves
+// exactly like NewService (g must be non-nil).
+func OpenService(g *Graph, opts *ServiceOptions) (*Service, error) {
+	var o ServiceOptions
+	if opts != nil {
+		o = *opts
+	}
+	var ig, igr *graph.Graph
+	if g != nil {
+		ig, igr = g.g, g.gr
+	} else if o.DataDir == "" {
+		return nil, fmt.Errorf("hcpath: OpenService needs a graph or a DataDir")
+	}
+	svc, err := service.Open(ig, igr, o.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Service{svc: svc, maxHops: o.maxHops()}, nil
 }
 
 // Query submits one query, blocks until its micro-batch completes (or
@@ -776,6 +856,21 @@ func (s *Service) Epoch() uint64 { return s.svc.Epoch() }
 // Totals returns a snapshot of the service's lifetime counters.
 func (s *Service) Totals() ServiceTotals { return s.svc.Stats() }
 
+// Checkpoint forces a durable snapshot of the current graph epoch to
+// the service's DataDir, so a restart replays a minimal WAL tail. It
+// returns nil immediately on an in-memory service.
+func (s *Service) Checkpoint() error { return s.svc.Checkpoint() }
+
+// State identifies the current graph snapshot — epoch, vertex and edge
+// counts, and a checksum of the canonical CSR bytes. Two services
+// (e.g. a crashed run and its warm restart) serve the same graph iff
+// their States are equal. It serialises the graph to hash it: a
+// diagnostic, not a per-query call.
+func (s *Service) State() StoreState { return s.svc.State() }
+
 // Close drains in-flight batches and stops the service; queries after
-// Close return ErrServiceClosed. Close is idempotent.
-func (s *Service) Close() { s.svc.Close() }
+// Close return ErrServiceClosed. On a durable service Close then
+// writes a final checkpoint and syncs the WAL, returning any error in
+// making that state durable (always nil in-memory). Close is
+// idempotent.
+func (s *Service) Close() error { return s.svc.Close() }

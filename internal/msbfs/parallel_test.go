@@ -117,7 +117,10 @@ func TestParallelOverlaySnapshots(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		dels = append(dels, graph.Edge{Src: graph.VertexID(rng.Intn(200)), Dst: graph.VertexID(rng.Intn(200))})
 	}
-	snap := st.ApplyUpdates(adds, dels)
+	snap, err := st.ApplyUpdates(adds, dels)
+	if err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
 	g, rev := snap.Graph(), snap.Reverse()
 	if !g.IsOverlay() {
 		t.Fatal("expected a live overlay snapshot")

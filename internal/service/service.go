@@ -103,6 +103,23 @@ type Config struct {
 	// automatic compaction. Services that never apply updates are
 	// unaffected.
 	CompactAfter int
+	// DataDir, when non-empty, makes the graph store durable: every
+	// ApplyUpdates is write-ahead logged under this directory, periodic
+	// checkpoints capture the full CSR, and Open warm-restarts from the
+	// directory's contents (the on-disk state wins over the graph passed
+	// in). Only honoured by Open — New is always in-memory.
+	DataDir string
+	// Fsync selects the WAL durability policy when DataDir is set:
+	// store.FsyncAlways (default), store.FsyncInterval, store.FsyncOff.
+	Fsync store.FsyncPolicy
+	// SyncEvery is the FsyncInterval ticker period; zero selects
+	// store.DefaultSyncEvery.
+	SyncEvery time.Duration
+	// CheckpointEvery controls background snapshot cadence (update
+	// records between checkpoints); zero selects
+	// store.DefaultCheckpointEvery, negative leaves checkpoints to
+	// Close/Checkpoint only.
+	CheckpointEvery int
 	// Plan, when non-nil, enables the adaptive per-batch query planner:
 	// every micro-batch's sharing groups are scored by a
 	// planner.CostModel (seeded from these options, with IndexStats
@@ -225,6 +242,13 @@ type Totals struct {
 	UpdatesApplied int64
 	Compactions    int64
 	DeltaEdges     int
+	// WALRecords counts ApplyUpdates calls logged to the write-ahead
+	// log (no-ops included, restarts survived); Checkpoints counts
+	// snapshot files written this process; SnapshotEpoch is the newest
+	// on-disk snapshot's epoch. All zero on an in-memory service.
+	WALRecords    int64
+	Checkpoints   int64
+	SnapshotEpoch uint64
 	// Plan sums the per-batch planner decompositions: how many sharing
 	// groups each engine processed and where their wall time went.
 	Plan PlanStats
@@ -238,10 +262,11 @@ type Totals struct {
 // callers hold the service stats mutex. The excluded fields are not
 // per-batch sums: the index-cache and store gauges (IndexWidened,
 // IndexEvictions, IndexCacheBytes, Epoch, UpdatesApplied, Compactions,
-// DeltaEdges) are snapshotted by Stats at read time, and Shed counts
-// submissions that never became part of a batch.
+// DeltaEdges, WALRecords, Checkpoints, SnapshotEpoch) are snapshotted
+// by Stats at read time, and Shed counts submissions that never became
+// part of a batch.
 //
-//hcpath:mergefields Totals -IndexWidened -IndexEvictions -IndexCacheBytes -Epoch -UpdatesApplied -Compactions -DeltaEdges -Shed
+//hcpath:mergefields Totals -IndexWidened -IndexEvictions -IndexCacheBytes -Epoch -UpdatesApplied -Compactions -DeltaEdges -WALRecords -Checkpoints -SnapshotEpoch -Shed
 func (t *Totals) addBatch(bs BatchStats, deadline bool) {
 	t.Batches++
 	t.Queries += int64(bs.Queries)
@@ -406,9 +431,37 @@ type Service struct {
 	cbMu sync.Mutex // serialises OnBatch callbacks
 }
 
-// New starts a service answering queries on g (gr is its precomputed
-// reverse). The caller must Close it to release the collector.
+// New starts an in-memory service answering queries on g (gr is its
+// precomputed reverse). The caller must Close it to release the
+// collector. Config.DataDir is ignored — use Open for durability.
 func New(g, gr *graph.Graph, cfg Config) *Service {
+	return newWithStore(store.NewWithReverse(g, gr, store.Options{CompactAfter: cfg.CompactAfter}), cfg)
+}
+
+// Open starts a service like New, but honours Config.DataDir: when it
+// is non-empty the graph store is durable — updates are write-ahead
+// logged, checkpoints are written in the background, and an existing
+// data directory warm-restarts the store at its pre-crash epoch and
+// edge set (g/gr then only seed an empty directory; on-disk state
+// wins). With an empty DataDir, Open is exactly New.
+func Open(g, gr *graph.Graph, cfg Config) (*Service, error) {
+	if cfg.DataDir == "" {
+		return New(g, gr, cfg), nil
+	}
+	st, err := store.Open(cfg.DataDir, g, store.DurableOptions{
+		Options:         store.Options{CompactAfter: cfg.CompactAfter},
+		Fsync:           cfg.Fsync,
+		SyncEvery:       cfg.SyncEvery,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newWithStore(st, cfg), nil
+}
+
+// newWithStore wires the batching machinery around an existing store.
+func newWithStore(st *store.Store, cfg Config) *Service {
 	bw := cfg.BuildWorkers
 	if bw < 0 {
 		bw = runtime.GOMAXPROCS(0)
@@ -420,7 +473,7 @@ func New(g, gr *graph.Graph, cfg Config) *Service {
 		provider = hcindex.NewCacheWorkers(cfg.IndexCacheBytes, bw) // 0 → default budget
 	}
 	s := &Service{
-		st:       store.NewWithReverse(g, gr, store.Options{CompactAfter: cfg.CompactAfter}),
+		st:       st,
 		cfg:      cfg,
 		provider: provider,
 		submit:   make(chan *request, cfg.maxBatch()),
@@ -517,8 +570,18 @@ func (s *Service) ApplyUpdates(adds, dels []graph.Edge) (uint64, error) {
 	if s.closed {
 		return s.st.Current().Epoch(), ErrClosed
 	}
-	return s.st.ApplyUpdates(adds, dels).Epoch(), nil
+	snap, err := s.st.ApplyUpdates(adds, dels)
+	return snap.Epoch(), err
 }
+
+// Checkpoint forces a durable snapshot of the current epoch. It
+// returns nil immediately on an in-memory service.
+func (s *Service) Checkpoint() error { return s.st.Checkpoint() }
+
+// State identifies the current snapshot — epoch, sizes, and a checksum
+// of the canonical CSR serialization — for cross-process comparison
+// (e.g. asserting a warm restart reproduced the pre-crash graph).
+func (s *Service) State() store.State { return s.st.Current().State() }
 
 // Epoch returns the current graph snapshot's epoch.
 func (s *Service) Epoch() uint64 { return s.st.Current().Epoch() }
@@ -539,26 +602,34 @@ func (s *Service) Stats() Totals {
 	t.UpdatesApplied = ss.UpdatesApplied
 	t.Compactions = ss.Compactions
 	t.DeltaEdges = ss.DeltaEdges
+	t.WALRecords = ss.WALRecords
+	t.Checkpoints = ss.Checkpoints
+	t.SnapshotEpoch = ss.SnapshotEpoch
 	if s.adm != nil {
 		t.Shed = s.adm.shedCount()
 	}
 	return t
 }
 
-// Close dispatches any forming batch, waits for all in-flight batches to
-// complete, and releases the collector. Submissions after Close return
-// ErrClosed; Close is idempotent.
-func (s *Service) Close() {
+// Close dispatches any forming batch, waits for all in-flight batches
+// to complete, and releases the collector. On a durable service it
+// then writes a final checkpoint and syncs and closes the WAL; the
+// returned error reports any failure to make that state durable
+// (always nil in-memory). Submissions after Close return ErrClosed;
+// Close is idempotent.
+func (s *Service) Close() error {
 	s.closing.Lock()
 	if s.closed {
 		s.closing.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
 	close(s.submit)
 	s.closing.Unlock()
 	s.wg.Wait()
-	s.st.Close() // drain any background compaction
+	// Drains background compactions/checkpoints; durable stores then
+	// checkpoint the final epoch.
+	return s.st.Close()
 }
 
 // collect is the batching loop: it owns the forming batch and its

@@ -8,6 +8,12 @@
 // later batches see the new epoch. When the delta grows past a
 // threshold a background compaction folds it into a fresh CSR base, so
 // steady-state reads never pay more than a bounded overlay probe.
+//
+// A store opened with Open is additionally durable: every epoch
+// transition is appended to a CRC-framed write-ahead log before the
+// snapshot is published, periodic checkpoint files capture the full CSR,
+// and a warm restart replays snapshot + WAL tail back to the exact
+// pre-crash epoch and edge set (see wal.go and durable.go).
 package store
 
 import (
@@ -56,7 +62,9 @@ type Snapshot struct {
 	fwd, bwd map[graph.VertexID][]graph.VertexID
 
 	// deltaEdges counts effective edge changes folded into the overlay
-	// since base — the compaction pressure.
+	// since base — the compaction pressure. Both directions contribute:
+	// each update adds max(changedForward, changedBackward), so
+	// backward-heavy divergence exerts the same pressure as forward.
 	deltaEdges int
 }
 
@@ -89,7 +97,8 @@ func (s *Snapshot) OutDegree(v graph.VertexID) int { return s.g.OutDegree(v) }
 // HasEdge reports whether (u,v) exists in this epoch.
 func (s *Snapshot) HasEdge(u, v graph.VertexID) bool { return s.g.HasEdge(u, v) }
 
-// DeltaEdges returns the effective edge changes pending compaction.
+// DeltaEdges returns the effective edge changes pending compaction,
+// counting whichever direction diverged more.
 func (s *Snapshot) DeltaEdges() int { return s.deltaEdges }
 
 // Stats snapshots a store's lifetime counters.
@@ -97,14 +106,25 @@ type Stats struct {
 	// Epoch is the current snapshot's epoch.
 	Epoch uint64
 	// DeltaEdges and DeltaRows describe the current overlay: effective
-	// edge changes since the base, and overlaid adjacency rows (both
-	// directions counted once, on the forward side).
+	// edge changes since the base (max over the two directions), and
+	// overlaid adjacency rows (counted on the forward side).
 	DeltaEdges, DeltaRows int
 	// BaseEdges is the current base CSR's edge count.
 	BaseEdges int
 	// UpdatesApplied counts effective edge changes ever applied;
-	// Compactions counts base rebuilds.
+	// Compactions counts base rebuilds. On a durable store both are
+	// restored from the last checkpoint header on Open, plus the
+	// replayed WAL tail.
 	UpdatesApplied, Compactions int64
+	// WALRecords counts ApplyUpdates calls logged to the WAL (including
+	// no-ops), across restarts; zero on an in-memory store. Callers use
+	// it to resume a deterministic update stream after a crash.
+	WALRecords int64
+	// Checkpoints counts snapshot files written by this store instance;
+	// SnapshotEpoch is the epoch of the newest on-disk snapshot. Both
+	// are zero on an in-memory store.
+	Checkpoints   int64
+	SnapshotEpoch uint64
 }
 
 // Store owns the version chain. All methods are safe for concurrent
@@ -113,13 +133,17 @@ type Stats struct {
 type Store struct {
 	opts Options
 
-	mu  sync.Mutex // serialises ApplyUpdates and compaction swaps
+	mu  sync.Mutex // serialises ApplyUpdates, compaction swaps, and WAL appends
 	cur atomic.Pointer[Snapshot]
 
 	compacting  atomic.Bool
 	wg          sync.WaitGroup
 	updates     atomic.Int64
 	compactions atomic.Int64
+
+	// dur is nil on in-memory stores; set by Open. All mutations of its
+	// file state happen under mu.
+	dur *durability
 }
 
 // New returns a store whose epoch 0 is g (computing the reverse).
@@ -141,7 +165,7 @@ func (s *Store) Current() *Snapshot { return s.cur.Load() }
 // Stats returns the store's counters and the current overlay's size.
 func (s *Store) Stats() Stats {
 	snap := s.cur.Load()
-	return Stats{
+	st := Stats{
 		Epoch:          snap.epoch,
 		DeltaEdges:     snap.deltaEdges,
 		DeltaRows:      len(snap.fwd),
@@ -149,6 +173,12 @@ func (s *Store) Stats() Stats {
 		UpdatesApplied: s.updates.Load(),
 		Compactions:    s.compactions.Load(),
 	}
+	if d := s.dur; d != nil {
+		st.WALRecords = int64(d.seq.Load())
+		st.Checkpoints = d.checkpoints.Load()
+		st.SnapshotEpoch = d.snapEpoch.Load()
+	}
+	return st
 }
 
 // ApplyUpdates publishes a new epoch with dels removed and adds
@@ -161,11 +191,45 @@ func (s *Store) Stats() Stats {
 // warmth downstream. Crossing the compaction threshold schedules a
 // background fold of the delta into a fresh base (or runs it inline
 // under Options.SyncCompact).
-func (s *Store) ApplyUpdates(adds, dels []graph.Edge) *Snapshot {
+//
+// On a durable store the update (effective or not) is appended to the
+// WAL before the snapshot is published; a non-nil error means the
+// update was NOT applied and the store refuses further durable writes
+// (the log can no longer be trusted). In-memory stores never fail.
+func (s *Store) ApplyUpdates(adds, dels []graph.Edge) (*Snapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
 	prev := s.cur.Load()
+	next, changed := buildNext(prev, adds, dels)
+	if next == nil {
+		// Logged so WALRecords counts every ApplyUpdates call: callers
+		// replaying a recorded update stream skip exactly that many
+		// batches on restart, no-ops included.
+		if err := s.logLocked(recNoop, prev.epoch, nil, nil); err != nil {
+			return prev, err
+		}
+		return prev, nil
+	}
+	if err := s.logLocked(recUpdate, next.epoch, adds, dels); err != nil {
+		return prev, err
+	}
+	s.cur.Store(next)
+	s.updates.Add(int64(changed))
+	if err := s.maybeCompactLocked(next); err != nil {
+		return s.cur.Load(), err
+	}
+	s.maybeCheckpointLocked(false)
+	return s.cur.Load(), nil
+}
+
+// buildNext computes prev's successor snapshot under dels-then-adds,
+// sharing unchanged rows structurally. It returns (nil, 0) when nothing
+// effectively changes. changed is the effective edge-change count, the
+// max over the two directions: forward and backward overlays can
+// legitimately diverge in how many rows the same logical change touches,
+// and undercounting either side delays compaction.
+func buildNext(prev *Snapshot, adds, dels []graph.Edge) (*Snapshot, int) {
 	n := prev.g.NumVertices()
 	for _, e := range adds {
 		if e.Src == e.Dst {
@@ -182,10 +246,11 @@ func (s *Store) ApplyUpdates(adds, dels []graph.Edge) *Snapshot {
 	fwd, changedF := overlayRows(prev.g, prev.fwd, groupBySrc(adds, false), groupBySrc(dels, false))
 	bwd, changedB := overlayRows(prev.gr, prev.bwd, groupBySrc(adds, true), groupBySrc(dels, true))
 	if changedF == 0 && changedB == 0 && n == prev.g.NumVertices() {
-		return prev
+		return nil, 0
 	}
+	changed := max(changedF, changedB)
 
-	snap := &Snapshot{
+	return &Snapshot{
 		epoch:      prev.epoch + 1,
 		g:          graph.Overlay(prev.base, n, fwd),
 		gr:         graph.Overlay(prev.baseR, n, bwd),
@@ -193,12 +258,8 @@ func (s *Store) ApplyUpdates(adds, dels []graph.Edge) *Snapshot {
 		baseR:      prev.baseR,
 		fwd:        fwd,
 		bwd:        bwd,
-		deltaEdges: prev.deltaEdges + changedF,
-	}
-	s.cur.Store(snap)
-	s.updates.Add(int64(changedF))
-	s.maybeCompactLocked(snap)
-	return s.cur.Load()
+		deltaEdges: prev.deltaEdges + changed,
+	}, changed
 }
 
 // threshold returns the compaction trigger for the given base, or -1
@@ -214,18 +275,20 @@ func (s *Store) threshold(base *graph.Graph) int {
 }
 
 // maybeCompactLocked schedules (or, under SyncCompact, runs) a
-// compaction when snap's delta has outgrown the threshold.
-func (s *Store) maybeCompactLocked(snap *Snapshot) {
+// compaction when snap's delta has outgrown the threshold. Only the
+// synchronous path can return an error (a failed WAL append for the
+// compaction record); the background path parks failures in the
+// durable layer's sticky error, surfaced by the next ApplyUpdates.
+func (s *Store) maybeCompactLocked(snap *Snapshot) error {
 	t := s.threshold(snap.base)
 	if t < 0 || snap.deltaEdges < t {
-		return
+		return nil
 	}
 	if s.opts.SyncCompact {
-		s.swapCompactedLocked(snap, snap.g.Flatten(), snap.gr.Flatten())
-		return
+		return s.swapCompactedLocked(snap, snap.g.Flatten(), snap.gr.Flatten())
 	}
 	if s.compacting.Swap(true) {
-		return // one background fold at a time
+		return nil // one background fold at a time
 	}
 	s.wg.Add(1)
 	go func() {
@@ -233,6 +296,7 @@ func (s *Store) maybeCompactLocked(snap *Snapshot) {
 		defer s.compacting.Store(false)
 		s.compactOnce()
 	}()
+	return nil
 }
 
 // compactOnce folds the current delta into a fresh base. Updates that
@@ -242,13 +306,19 @@ func (s *Store) maybeCompactLocked(snap *Snapshot) {
 func (s *Store) compactOnce() {
 	for attempt := 0; attempt < 3; attempt++ {
 		snap := s.cur.Load()
-		if snap.deltaEdges == 0 {
+		// Match Compact's predicate: a live overlay must be folded even
+		// when its effective delta nets out to zero (adds and deletes
+		// that cancel still leave overlay rows that cost a probe per
+		// neighbour access).
+		if !snap.g.IsOverlay() {
 			return
 		}
 		flatG, flatR := snap.g.Flatten(), snap.gr.Flatten()
 		s.mu.Lock()
 		if s.cur.Load() == snap {
-			s.swapCompactedLocked(snap, flatG, flatR)
+			// A WAL failure here parks a sticky error; retrying cannot
+			// help (the log is desynced), so give up either way.
+			_ = s.swapCompactedLocked(snap, flatG, flatR)
 			s.mu.Unlock()
 			return
 		}
@@ -256,40 +326,57 @@ func (s *Store) compactOnce() {
 	}
 }
 
-// swapCompactedLocked publishes the folded CSR pair as the next epoch.
-func (s *Store) swapCompactedLocked(snap *Snapshot, flatG, flatR *graph.Graph) {
+// swapCompactedLocked publishes the folded CSR pair as the next epoch,
+// WAL-logging the transition first on durable stores (compactions bump
+// the epoch, so replay must reproduce them to reach the same number).
+func (s *Store) swapCompactedLocked(snap *Snapshot, flatG, flatR *graph.Graph) error {
+	if err := s.logLocked(recCompact, snap.epoch+1, nil, nil); err != nil {
+		return err
+	}
 	s.cur.Store(&Snapshot{
 		epoch: snap.epoch + 1,
 		g:     flatG, gr: flatR,
 		base: flatG, baseR: flatR,
 	})
 	s.compactions.Add(1)
+	// A freshly folded CSR is the cheapest possible point to snapshot.
+	s.maybeCheckpointLocked(true)
+	return nil
 }
 
 // Compact synchronously folds any pending delta into a fresh base and
 // returns the resulting snapshot (the current one when there was
-// nothing to fold).
-func (s *Store) Compact() *Snapshot {
+// nothing to fold). The error mirrors ApplyUpdates: non-nil only on a
+// durable store whose WAL append failed, in which case no new epoch was
+// published.
+func (s *Store) Compact() (*Snapshot, error) {
 	for {
 		snap := s.cur.Load()
-		if snap.deltaEdges == 0 && snap.fwd == nil {
-			return snap
+		if !snap.g.IsOverlay() {
+			return snap, nil
 		}
 		flatG, flatR := snap.g.Flatten(), snap.gr.Flatten()
 		s.mu.Lock()
 		if s.cur.Load() == snap {
-			s.swapCompactedLocked(snap, flatG, flatR)
+			err := s.swapCompactedLocked(snap, flatG, flatR)
 			s.mu.Unlock()
-			return s.cur.Load()
+			return s.cur.Load(), err
 		}
 		s.mu.Unlock()
 	}
 }
 
-// Close waits for any background compaction to finish. The store
-// remains usable; Close exists so tests and shutdown paths don't leak
-// goroutines.
-func (s *Store) Close() { s.wg.Wait() }
+// Close waits for any background compaction or checkpoint to finish;
+// on a durable store it then writes a final checkpoint, syncs and
+// closes the WAL, and releases the data directory. The store remains
+// usable for reads after Close; further durable writes fail.
+func (s *Store) Close() error {
+	s.wg.Wait()
+	if s.dur == nil {
+		return nil
+	}
+	return s.closeDurable()
+}
 
 // groupBySrc buckets edges by source (or by destination when reversed,
 // emitting the reversed edge), dropping self-loops.

@@ -7,6 +7,17 @@ import (
 	"repro/internal/graph"
 )
 
+// mustApply applies an update batch, failing the test on error (an
+// in-memory store never errors; durable stores only on WAL I/O).
+func mustApply(t *testing.T, s *Store, adds, dels []graph.Edge) *Snapshot {
+	t.Helper()
+	snap, err := s.ApplyUpdates(adds, dels)
+	if err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
+	return snap
+}
+
 // edgeSet collects a graph's edges into a comparable map.
 func edgeSet(g *graph.Graph) map[graph.Edge]bool {
 	set := make(map[graph.Edge]bool)
@@ -47,7 +58,7 @@ func TestApplyUpdatesAddDelete(t *testing.T) {
 	base := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
 	s := New(base, Options{CompactAfter: -1})
 
-	snap := s.ApplyUpdates([]graph.Edge{{Src: 0, Dst: 2}, {Src: 3, Dst: 0}}, nil)
+	snap := mustApply(t, s, []graph.Edge{{Src: 0, Dst: 2}, {Src: 3, Dst: 0}}, nil)
 	if snap.Epoch() != 1 {
 		t.Fatalf("epoch = %d, want 1", snap.Epoch())
 	}
@@ -56,7 +67,7 @@ func TestApplyUpdatesAddDelete(t *testing.T) {
 	requireEqual(t, "after adds", snap.Graph(), want)
 	requireEqual(t, "after adds (reverse)", snap.Reverse(), want.Reverse())
 
-	snap = s.ApplyUpdates(nil, []graph.Edge{{Src: 1, Dst: 2}})
+	snap = mustApply(t, s, nil, []graph.Edge{{Src: 1, Dst: 2}})
 	if snap.Epoch() != 2 {
 		t.Fatalf("epoch = %d, want 2", snap.Epoch())
 	}
@@ -79,7 +90,7 @@ func TestApplyUpdatesNoOpKeepsEpoch(t *testing.T) {
 	before := s.Current()
 
 	// Adding a present edge, deleting an absent one, self-loops: no-ops.
-	snap := s.ApplyUpdates(
+	snap := mustApply(t, s,
 		[]graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 2}},
 		[]graph.Edge{{Src: 1, Dst: 2}, {Src: 9, Dst: 1}})
 	if snap != before {
@@ -92,7 +103,7 @@ func TestApplyUpdatesDeleteThenAddSameEdge(t *testing.T) {
 	s := New(base, Options{CompactAfter: -1})
 	// Deletions apply first, so the edge survives; the row is unchanged
 	// and the whole update is a no-op.
-	snap := s.ApplyUpdates([]graph.Edge{{Src: 0, Dst: 1}}, []graph.Edge{{Src: 0, Dst: 1}}) //nolint
+	snap := mustApply(t, s, []graph.Edge{{Src: 0, Dst: 1}}, []graph.Edge{{Src: 0, Dst: 1}}) //nolint
 	if snap.Epoch() != 0 {
 		t.Fatalf("del+add of same present edge bumped epoch to %d", snap.Epoch())
 	}
@@ -101,7 +112,7 @@ func TestApplyUpdatesDeleteThenAddSameEdge(t *testing.T) {
 func TestVertexGrowth(t *testing.T) {
 	base := graph.FromEdges(2, []graph.Edge{{Src: 0, Dst: 1}})
 	s := New(base, Options{CompactAfter: -1})
-	snap := s.ApplyUpdates([]graph.Edge{{Src: 1, Dst: 5}, {Src: 5, Dst: 0}}, nil)
+	snap := mustApply(t, s, []graph.Edge{{Src: 1, Dst: 5}, {Src: 5, Dst: 0}}, nil)
 	if snap.NumVertices() != 6 {
 		t.Fatalf("n = %d, want 6", snap.NumVertices())
 	}
@@ -117,7 +128,7 @@ func TestCompactionEquivalence(t *testing.T) {
 	base := graph.FromEdges(5, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}})
 	s := New(base, Options{CompactAfter: 2, SyncCompact: true})
 
-	snap := s.ApplyUpdates([]graph.Edge{{Src: 0, Dst: 4}, {Src: 4, Dst: 0}}, []graph.Edge{{Src: 1, Dst: 2}})
+	snap := mustApply(t, s, []graph.Edge{{Src: 0, Dst: 4}, {Src: 4, Dst: 0}}, []graph.Edge{{Src: 1, Dst: 2}})
 	if snap.Graph().IsOverlay() {
 		t.Fatal("threshold crossed but snapshot still an overlay")
 	}
@@ -133,7 +144,7 @@ func TestCompactionEquivalence(t *testing.T) {
 	}
 
 	// Updates keep working on the fresh base.
-	snap = s.ApplyUpdates([]graph.Edge{{Src: 1, Dst: 3}}, nil)
+	snap = mustApply(t, s, []graph.Edge{{Src: 1, Dst: 3}}, nil)
 	if !snap.HasEdge(1, 3) {
 		t.Fatal("post-compaction update lost")
 	}
@@ -142,7 +153,7 @@ func TestCompactionEquivalence(t *testing.T) {
 func TestBackgroundCompaction(t *testing.T) {
 	base := graph.FromEdges(4, []graph.Edge{{Src: 0, Dst: 1}})
 	s := New(base, Options{CompactAfter: 1})
-	s.ApplyUpdates([]graph.Edge{{Src: 1, Dst: 2}, {Src: 2, Dst: 3}}, nil)
+	mustApply(t, s, []graph.Edge{{Src: 1, Dst: 2}, {Src: 2, Dst: 3}}, nil)
 	s.Close() // waits for the background fold
 	snap := s.Current()
 	if snap.Graph().IsOverlay() {
@@ -191,7 +202,7 @@ func TestRandomizedDifferential(t *testing.T) {
 				live[e] = true
 			}
 		}
-		snap := s.ApplyUpdates(adds, dels)
+		snap := mustApply(t, s, adds, dels)
 
 		var all []graph.Edge
 		for e := range live {
@@ -211,8 +222,8 @@ func TestRandomizedDifferential(t *testing.T) {
 func TestSnapshotIsolation(t *testing.T) {
 	s := New(graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}}), Options{CompactAfter: 1, SyncCompact: true})
 	s0 := s.Current()
-	s1 := s.ApplyUpdates([]graph.Edge{{Src: 1, Dst: 2}}, nil)
-	s2 := s.ApplyUpdates(nil, []graph.Edge{{Src: 0, Dst: 1}})
+	s1 := mustApply(t, s, []graph.Edge{{Src: 1, Dst: 2}}, nil)
+	s2 := mustApply(t, s, nil, []graph.Edge{{Src: 0, Dst: 1}})
 
 	if s0.HasEdge(1, 2) || !s0.HasEdge(0, 1) {
 		t.Fatal("epoch 0 mutated")
@@ -222,5 +233,109 @@ func TestSnapshotIsolation(t *testing.T) {
 	}
 	if s2.HasEdge(0, 1) || !s2.HasEdge(1, 2) {
 		t.Fatal("epoch 2 wrong")
+	}
+}
+
+// TestCompactOnceFoldsNetZeroOverlay is the regression test for the
+// background-compaction early-return: a snapshot can carry live overlay
+// rows whose effective delta nets out to zero (adds and deletes that
+// cancelled row-by-row over time). compactOnce used to key off
+// deltaEdges == 0 and skip such a snapshot forever, while Compact would
+// fold it; both must use the same predicate — is there an overlay.
+func TestCompactOnceFoldsNetZeroOverlay(t *testing.T) {
+	base := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	s := New(base, Options{CompactAfter: -1})
+	cur := s.Current()
+
+	// Install the pathological state directly: overlay rows identical in
+	// content to the base (zero net delta) but structurally live.
+	fwd := map[graph.VertexID][]graph.VertexID{0: {1}}
+	bwd := map[graph.VertexID][]graph.VertexID{1: {0}}
+	s.cur.Store(&Snapshot{
+		epoch: cur.epoch + 1,
+		g:     graph.Overlay(cur.base, 3, fwd),
+		gr:    graph.Overlay(cur.baseR, 3, bwd),
+		base:  cur.base, baseR: cur.baseR,
+		fwd: fwd, bwd: bwd,
+		deltaEdges: 0,
+	})
+	if !s.Current().Graph().IsOverlay() {
+		t.Fatal("setup: snapshot is not an overlay")
+	}
+
+	s.compactOnce()
+
+	snap := s.Current()
+	if snap.Graph().IsOverlay() {
+		t.Fatal("compactOnce skipped a live overlay with a net-zero delta")
+	}
+	if snap.Epoch() != cur.epoch+2 {
+		t.Fatalf("epoch = %d, want %d", snap.Epoch(), cur.epoch+2)
+	}
+	requireEqual(t, "folded", snap.Graph(), base)
+	requireEqual(t, "folded (reverse)", snap.Reverse(), base.Reverse())
+}
+
+// TestDeltaCountsBackwardDivergence is the regression test for
+// forward-only delta accounting: when the backward direction changes
+// more rows than the forward one, deltaEdges, UpdatesApplied, and the
+// compaction trigger must all see the larger count. The divergent state
+// is installed directly (the public API maintains both directions
+// symmetrically, so only corruption or future asymmetric paths reach
+// it) — the accounting must stay correct either way.
+func TestDeltaCountsBackwardDivergence(t *testing.T) {
+	// Forward graph empty; reverse graph alone knows edge 0→1.
+	g := graph.FromEdges(2, nil)
+	gr := graph.FromEdges(2, []graph.Edge{{Src: 1, Dst: 0}})
+	s := &Store{opts: Options{CompactAfter: -1}}
+	s.cur.Store(&Snapshot{g: g, gr: gr, base: g, baseR: gr})
+
+	// Deleting 0→1 is a no-op forward (changedF = 0) but removes a
+	// backward entry (changedB = 1).
+	snap, err := s.ApplyUpdates(nil, []graph.Edge{{Src: 0, Dst: 1}})
+	if err != nil {
+		t.Fatalf("ApplyUpdates: %v", err)
+	}
+	if snap.Epoch() != 1 {
+		t.Fatalf("epoch = %d, want 1 (backward-only change must publish)", snap.Epoch())
+	}
+	if got := snap.DeltaEdges(); got != 1 {
+		t.Fatalf("DeltaEdges = %d, want 1 (backward divergence undercounted)", got)
+	}
+	if got := s.Stats().UpdatesApplied; got != 1 {
+		t.Fatalf("UpdatesApplied = %d, want 1", got)
+	}
+	if got := s.Stats().DeltaEdges; got != 1 {
+		t.Fatalf("Stats.DeltaEdges = %d, want 1", got)
+	}
+}
+
+// TestCompactionTriggerAtThreshold pins the documented CompactAfter
+// semantics: the fold runs on the exact update whose cumulative
+// effective delta reaches the threshold, not before and not later.
+func TestCompactionTriggerAtThreshold(t *testing.T) {
+	s := New(graph.FromEdges(4, nil), Options{CompactAfter: 3, SyncCompact: true})
+
+	mustApply(t, s, []graph.Edge{{Src: 0, Dst: 1}}, nil) // delta 1
+	mustApply(t, s, []graph.Edge{{Src: 1, Dst: 2}}, nil) // delta 2
+	if got := s.Stats().Compactions; got != 0 {
+		t.Fatalf("compacted %d time(s) below the threshold", got)
+	}
+	snap := mustApply(t, s, []graph.Edge{{Src: 2, Dst: 3}}, nil) // delta 3 = threshold
+	if got := s.Stats().Compactions; got != 1 {
+		t.Fatalf("compactions = %d at the threshold, want 1", got)
+	}
+	if snap.Graph().IsOverlay() {
+		t.Fatal("snapshot returned after a sync compaction is still an overlay")
+	}
+	if snap.DeltaEdges() != 0 {
+		t.Fatalf("delta after compaction = %d", snap.DeltaEdges())
+	}
+
+	// The trigger counts the larger direction: a backward-heavier update
+	// exerts the same pressure.
+	mustApply(t, s, []graph.Edge{{Src: 0, Dst: 2}, {Src: 1, Dst: 3}, {Src: 3, Dst: 0}}, nil)
+	if got := s.Stats().Compactions; got != 2 {
+		t.Fatalf("compactions = %d after second threshold crossing, want 2", got)
 	}
 }

@@ -1,0 +1,241 @@
+// Write-ahead log framing for the durable store. Every epoch
+// transition — effective update, no-op update, compaction — is one
+// length-prefixed, CRC-framed record appended to the active segment
+// before the snapshot publishes:
+//
+//	[4B payload length LE][4B CRC32-C of payload][payload]
+//	payload = kind(1B) | epoch(8B LE) | nAdds(4B LE) | nDels(4B LE) |
+//	          adds: nAdds × (src 4B, dst 4B) | dels: nDels × (src 4B, dst 4B)
+//
+// The epoch stored is the one the record transitions TO (for no-ops,
+// the unchanged current epoch), so replay can assert continuity and a
+// recovered store provably reaches the exact pre-crash epoch. Records
+// carry the raw adds/dels as passed to ApplyUpdates: the snapshot
+// transition function (buildNext) is deterministic, so replaying the
+// inputs reproduces the outputs bit-for-bit.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/graph"
+)
+
+// FsyncPolicy selects when WAL appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs after every appended record: an acknowledged
+	// ApplyUpdates survives any crash. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background ticker (DurableOptions.
+	// SyncEvery): bounded data loss — at most one sync interval of
+	// acknowledged updates — for near-in-memory append latency.
+	FsyncInterval
+	// FsyncOff never fsyncs the WAL except at Close and before a
+	// checkpoint: crash loses anything since then. For bulk loads and
+	// tests.
+	FsyncOff
+)
+
+// String names the policy the way the CLI's -fsync flag spells it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// ParseFsyncPolicy inverts FsyncPolicy.String.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("unknown fsync policy %q (want always, interval, or off)", s)
+}
+
+// WAL record kinds.
+const (
+	recUpdate  byte = 1 // effective ApplyUpdates: epoch bumped, edges attached
+	recCompact byte = 2 // compaction swap: epoch bumped, no edges
+	recNoop    byte = 3 // ineffective ApplyUpdates: epoch unchanged, logged for seq
+)
+
+const (
+	walFrameHeader = 8             // length + CRC
+	walMinPayload  = 1 + 8 + 4 + 4 // kind + epoch + counts
+	maxWALPayload  = 1 << 30       // implausibility guard when scanning
+	walSuffix      = ".log"
+	walPrefix      = "wal-"
+)
+
+// errTornTail marks scan errors that torn-tail truncation repairs: the
+// segment's prefix up to the reported offset is intact and the rest is
+// an interrupted append. Anything else (a CRC-valid but malformed
+// record) is real corruption and recovery fails loudly instead.
+var errTornTail = errors.New("torn WAL tail")
+
+// castagnoli is the CRC32-C table shared by WAL frames and snapshot
+// trailers (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	kind       byte
+	epoch      uint64
+	adds, dels []graph.Edge
+}
+
+// encodeRecord frames one record into d.buf (reused across appends; at
+// steady state the buffer has plateaued and appending allocates
+// nothing).
+//
+//hcpath:noalloc
+func (d *durability) encodeRecord(kind byte, epoch uint64, adds, dels []graph.Edge) {
+	d.buf = d.buf[:0]
+	d.buf = append(d.buf, 0, 0, 0, 0, 0, 0, 0, 0) // frame header placeholder
+	d.buf = append(d.buf, kind)
+	d.buf = binary.LittleEndian.AppendUint64(d.buf, epoch)
+	d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(len(adds)))
+	d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(len(dels)))
+	for _, e := range adds {
+		d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(e.Src))
+		d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(e.Dst))
+	}
+	for _, e := range dels {
+		d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(e.Src))
+		d.buf = binary.LittleEndian.AppendUint32(d.buf, uint32(e.Dst))
+	}
+	payload := d.buf[walFrameHeader:]
+	binary.LittleEndian.PutUint32(d.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(d.buf[4:8], crc32.Checksum(payload, castagnoli))
+}
+
+// decodeRecord parses one CRC-verified payload. Errors here mean the
+// writer and reader disagree on the format — corruption that a CRC
+// cannot explain away — and are never treated as a torn tail.
+func decodeRecord(p []byte) (walRecord, error) {
+	kind := p[0]
+	if kind != recUpdate && kind != recCompact && kind != recNoop {
+		return walRecord{}, fmt.Errorf("unknown WAL record kind %d", kind)
+	}
+	epoch := binary.LittleEndian.Uint64(p[1:])
+	nAdds := binary.LittleEndian.Uint32(p[9:])
+	nDels := binary.LittleEndian.Uint32(p[13:])
+	want := int64(walMinPayload) + 8*(int64(nAdds)+int64(nDels))
+	if int64(len(p)) != want {
+		return walRecord{}, fmt.Errorf("WAL record payload is %d bytes, want %d for %d adds + %d dels",
+			len(p), want, nAdds, nDels)
+	}
+	r := walRecord{kind: kind, epoch: epoch}
+	off := walMinPayload
+	if nAdds > 0 {
+		r.adds = make([]graph.Edge, nAdds)
+		for i := range r.adds {
+			r.adds[i] = graph.Edge{
+				Src: graph.VertexID(binary.LittleEndian.Uint32(p[off:])),
+				Dst: graph.VertexID(binary.LittleEndian.Uint32(p[off+4:])),
+			}
+			off += 8
+		}
+	}
+	if nDels > 0 {
+		r.dels = make([]graph.Edge, nDels)
+		for i := range r.dels {
+			r.dels[i] = graph.Edge{
+				Src: graph.VertexID(binary.LittleEndian.Uint32(p[off:])),
+				Dst: graph.VertexID(binary.LittleEndian.Uint32(p[off+4:])),
+			}
+			off += 8
+		}
+	}
+	return r, nil
+}
+
+// scanWAL decodes records from a segment's bytes. It returns the
+// records of the longest valid prefix, that prefix's length in bytes,
+// and why scanning stopped: nil at a clean end-of-segment, an
+// errTornTail-wrapped error when the remainder looks like an
+// interrupted append (truncating to the returned length repairs it),
+// or a plain error for unrepairable corruption.
+func scanWAL(data []byte) ([]walRecord, int, error) {
+	var recs []walRecord
+	off := 0
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < walFrameHeader {
+			return recs, off, fmt.Errorf("%w: %d-byte partial frame header at offset %d", errTornTail, len(rest), off)
+		}
+		plen := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if plen < walMinPayload || plen > maxWALPayload {
+			return recs, off, fmt.Errorf("%w: implausible payload length %d at offset %d", errTornTail, plen, off)
+		}
+		if len(rest)-walFrameHeader < int(plen) {
+			return recs, off, fmt.Errorf("%w: %d payload bytes of %d at offset %d",
+				errTornTail, len(rest)-walFrameHeader, plen, off)
+		}
+		payload := rest[walFrameHeader : walFrameHeader+int(plen)]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return recs, off, fmt.Errorf("%w: CRC mismatch at offset %d", errTornTail, off)
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return recs, off, fmt.Errorf("WAL record at offset %d: %w", off, err)
+		}
+		recs = append(recs, rec)
+		off += walFrameHeader + int(plen)
+	}
+	return recs, off, nil
+}
+
+// logLocked appends one record to the WAL and applies the fsync
+// policy. Callers hold s.mu; on an in-memory store it is a no-op. Any
+// I/O failure is sticky: a partial append desynchronises the frame
+// stream, so the store refuses all further durable writes rather than
+// risk logging records a replay could misparse.
+func (s *Store) logLocked(kind byte, epoch uint64, adds, dels []graph.Edge) error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.f == nil {
+		return errClosed
+	}
+	d.encodeRecord(kind, epoch, adds, dels)
+	if _, err := d.f.Write(d.buf); err != nil {
+		d.err = fmt.Errorf("store: wal append: %w", err)
+		return d.err
+	}
+	if d.fsync == FsyncAlways {
+		if err := d.f.Sync(); err != nil {
+			d.err = fmt.Errorf("store: wal sync: %w", err)
+			return d.err
+		}
+	} else {
+		d.dirty = true
+	}
+	if kind == recUpdate || kind == recNoop {
+		d.seq.Add(1)
+	}
+	if kind == recUpdate {
+		d.recsSince++
+	}
+	return nil
+}

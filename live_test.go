@@ -87,7 +87,10 @@ func TestLiveSnapshotEnginesMatchRebuild(t *testing.T) {
 				live[e] = true
 			}
 		}
-		snap := st.ApplyUpdates(adds, dels)
+		snap, err := st.ApplyUpdates(adds, dels)
+		if err != nil {
+			t.Fatalf("ApplyUpdates: %v", err)
+		}
 		if !snap.Graph().IsOverlay() {
 			compacted++
 		}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Restart smoke test for the durable store: an update replay killed
+# mid-run — both via the CLI's simulated-crash flag and via a real
+# kill -9 — must, after a warm restart, reproduce the exact final
+# "state:" line (epoch, vertex count, edge count, CSR checksum) of an
+# uninterrupted run over the same update file.
+#
+# Run from the repository root: ./scripts/restart_smoke.sh
+set -euo pipefail
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/hcpath" ./cmd/hcpath
+
+graph="$workdir/g.txt"
+ops="$workdir/ops.txt"
+printf '0 1\n1 2\n2 3\n3 4\n0 2\n' > "$graph"
+# Many small mutation blocks separated by query waves, so an external
+# kill lands mid-replay; a trailing marker block distinguishes a
+# finished run from a lucky kill-after-completion.
+{
+  for i in $(seq 0 199); do
+    echo "add $((i % 5)) $((5 + i % 7))"
+    echo "query 0 4 4"
+    echo "del $((i % 5)) $((5 + i % 7))"
+    echo "query 0 4 4"
+  done
+  echo "add 4 11"
+  echo "query 0 4 4"
+} > "$ops"
+
+# Background compaction epochs are timing-dependent; state comparison
+# across processes needs deterministic epochs, so compaction is off.
+common=(-updates "$ops" -compactafter -1 -fsync always)
+
+echo "=== uninterrupted run"
+"$workdir/hcpath" -graph "$graph" -datadir "$workdir/d-full" "${common[@]}" | tee "$workdir/full.out"
+want=$(grep '^state: ' "$workdir/full.out")
+
+echo "=== simulated crash (-crashafter), then restart"
+set +e
+"$workdir/hcpath" -graph "$graph" -datadir "$workdir/d-crash" -crashafter 37 "${common[@]}" > /dev/null 2>&1
+code=$?
+set -e
+if [ "$code" -ne 137 ]; then
+  echo "expected exit 137 from -crashafter, got $code"
+  exit 1
+fi
+"$workdir/hcpath" -datadir "$workdir/d-crash" "${common[@]}" | tee "$workdir/resume.out"
+got=$(grep '^state: ' "$workdir/resume.out")
+if [ "$got" != "$want" ]; then
+  echo "state mismatch after -crashafter restart:"
+  echo "  want: $want"
+  echo "  got:  $got"
+  exit 1
+fi
+
+echo "=== kill -9 mid-run, then restart"
+"$workdir/hcpath" -graph "$graph" -datadir "$workdir/d-kill" "${common[@]}" > /dev/null 2>&1 &
+pid=$!
+# Wait for the WAL to exist, let some blocks apply, then kill hard.
+for _ in $(seq 1 200); do
+  [ -f "$workdir/d-kill/wal-00000000000000000000.log" ] && break
+  sleep 0.05
+done
+sleep 0.4
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+"$workdir/hcpath" -datadir "$workdir/d-kill" "${common[@]}" | tee "$workdir/kill.out"
+got=$(grep '^state: ' "$workdir/kill.out")
+if [ "$got" != "$want" ]; then
+  echo "state mismatch after kill -9 restart:"
+  echo "  want: $want"
+  echo "  got:  $got"
+  exit 1
+fi
+
+echo "restart smoke: OK ($want)"
