@@ -463,6 +463,64 @@ func BenchmarkServicePlannedThroughput(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedThroughput measures the in-process sharded
+// deployment against the single-process service on the same concurrent
+// closed-loop workload: identical clients, count mode, the service's
+// default engine. The sharded side reports how its traffic split
+// between forwarded single-shard queries (which micro-batch per
+// worker) and scatter-gather cross-shard joins.
+func BenchmarkShardedThroughput(b *testing.B) {
+	g, qs := serviceWorkload(b)
+	const clients = 16
+
+	run := func(b *testing.B, shards int) ShardingStats {
+		var rs ShardingStats
+		for i := 0; i < b.N; i++ {
+			svc := NewService(g, &ServiceOptions{
+				MaxBatch: clients,
+				MaxWait:  time.Millisecond,
+				Shards:   shards,
+			})
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for j := c; j < len(qs); j += clients {
+						if _, _, err := svc.Count(context.Background(), qs[j]); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			cur := svc.Sharding()
+			svc.Close()
+			rs.Shards = cur.Shards
+			rs.SingleShard += cur.SingleShard
+			rs.CrossShard += cur.CrossShard
+			rs.CrossShed += cur.CrossShed
+		}
+		b.ReportMetric(float64(b.N)*float64(len(qs))/b.Elapsed().Seconds(), "queries/s")
+		return rs
+	}
+
+	b.Run("Unsharded", func(b *testing.B) {
+		if rs := run(b, 0); rs.Shards != 0 {
+			b.Fatalf("unsharded run reported shard routing: %+v", rs)
+		}
+	})
+	b.Run("Shards4", func(b *testing.B) {
+		rs := run(b, 4)
+		total := rs.SingleShard + rs.CrossShard
+		if total != int64(b.N)*int64(len(qs)) {
+			b.Fatalf("routing lost queries: %+v, want %d total", rs, int64(b.N)*int64(len(qs)))
+		}
+		b.ReportMetric(float64(rs.CrossShard)/float64(max(total, 1)), "cross-shard-ratio")
+	})
+}
+
 // BenchmarkEngines compares the four engines plus the no-sharing
 // ablation on one high-similarity workload.
 func BenchmarkEngines(b *testing.B) {

@@ -73,12 +73,21 @@ func main() {
 		usePlanner  = flag.Bool("planner", false, "replay: plan each batch's groups adaptively (single/shared/splice per group)")
 		maxInFlight = flag.Int("maxinflight", 0, "replay: max concurrent batches (0 = unlimited)")
 		maxQueued   = flag.Int("maxqueued", 0, "replay: max admitted-but-undispatched queries; excess shed with ErrOverloaded (0 = unlimited)")
+		shards      = flag.Int("shards", 0, "replay/update-replay: shard workers in the in-process sharded deployment (0 or 1 = unsharded)")
 		verbose     = flag.Bool("v", false, "replay: print every batch's stats")
 	)
 	flag.Parse()
 
 	if *dataDir != "" && *updates == "" {
 		fail("-datadir requires -updates (update-replay is the durable mode)")
+	}
+	if *shards > 1 {
+		if *dataDir != "" {
+			fail("-shards with -datadir is not supported yet: sharded durability lands with the wire protocol (see docs/OPERATIONS.md)")
+		}
+		if !*replay && *updates == "" {
+			fail("-shards requires -replay or -updates (the sharded deployment serves live traffic)")
+		}
 	}
 	// With -datadir an existing data directory is the graph source; a
 	// -graph only seeds an empty directory.
@@ -125,6 +134,7 @@ func main() {
 			maxWait:         *maxWait,
 			queryTimeout:    *timeout,
 			compactAfter:    *compact,
+			shards:          *shards,
 			verbose:         *verbose,
 			dataDir:         *dataDir,
 			fsync:           fsync,
@@ -151,6 +161,7 @@ func main() {
 			planner:     *usePlanner,
 			maxInFlight: *maxInFlight,
 			maxQueued:   *maxQueued,
+			shards:      *shards,
 			verbose:     *verbose,
 		})
 		return
@@ -215,6 +226,7 @@ type replayConfig struct {
 	maxWait, timeout       time.Duration
 	planner                bool
 	maxInFlight, maxQueued int
+	shards                 int
 	verbose                bool
 }
 
@@ -231,6 +243,7 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, rc repla
 		QueryTimeout: rc.timeout,
 		MaxInFlight:  rc.maxInFlight,
 		MaxQueued:    rc.maxQueued,
+		Shards:       rc.shards,
 		OnBatch: func(b hcpath.BatchStats) {
 			if rc.verbose {
 				fmt.Fprintf(os.Stderr,
@@ -250,8 +263,13 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, rc repla
 	if clients < 1 {
 		clients = 1
 	}
-	fmt.Fprintf(os.Stderr, "replay: %d clients, batches of ≤%d formed over ≤%v windows\n",
-		clients, rc.maxBatch, rc.maxWait)
+	if n := svc.NumShards(); n > 1 {
+		fmt.Fprintf(os.Stderr, "replay: %d clients, %d shard workers, batches of ≤%d formed over ≤%v windows\n",
+			clients, n, rc.maxBatch, rc.maxWait)
+	} else {
+		fmt.Fprintf(os.Stderr, "replay: %d clients, batches of ≤%d formed over ≤%v windows\n",
+			clients, rc.maxBatch, rc.maxWait)
+	}
 
 	var failed, truncated, backoffs atomic.Int64
 	var wg sync.WaitGroup
@@ -305,6 +323,25 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, rc repla
 		fmt.Println(planLine(tot, backoffs.Load()))
 	}
 	fmt.Println(cacheLine(tot))
+	if line := shardLine(svc); line != "" {
+		fmt.Println(line)
+	}
+}
+
+// shardLine renders the sharded deployment's routing summary; empty on
+// an unsharded service.
+func shardLine(svc *hcpath.Service) string {
+	rs := svc.Sharding()
+	if rs.Shards <= 1 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shards: %d workers, %d single-shard, %d cross-shard, %d cross-shard shed; queries/shard:",
+		rs.Shards, rs.SingleShard, rs.CrossShard, rs.CrossShed)
+	for _, t := range svc.ShardTotals() {
+		fmt.Fprintf(&b, " %d", t.Queries)
+	}
+	return b.String()
 }
 
 // planLine renders the replay report's planner and admission summary.
@@ -395,6 +432,7 @@ type updateReplayConfig struct {
 	maxBatch              int
 	maxWait, queryTimeout time.Duration
 	compactAfter          int
+	shards                int
 	verbose               bool
 
 	dataDir         string
@@ -425,6 +463,7 @@ func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, cfg upda
 		MaxWait:      cfg.maxWait,
 		QueryTimeout: cfg.queryTimeout,
 		CompactAfter: cfg.compactAfter,
+		Shards:       cfg.shards,
 	}
 	var svc *hcpath.Service
 	var skip int64 // update blocks a previous run already applied
@@ -543,6 +582,9 @@ func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, cfg upda
 	fmt.Printf("epoch %d (%d effective edge changes, %d compactions, %d delta edges pending), %d batches, %d paths\n",
 		tot.Epoch, tot.UpdatesApplied, tot.Compactions, tot.DeltaEdges, tot.Batches, tot.Paths)
 	fmt.Println(cacheLine(tot))
+	if line := shardLine(svc); line != "" {
+		fmt.Println(line)
+	}
 	if cfg.dataDir != "" {
 		st := svc.State()
 		if err := svc.Close(); err != nil {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/query"
 	"repro/internal/service"
+	"repro/internal/shard"
 	"repro/internal/sharegraph"
 	"repro/internal/store"
 	"repro/internal/timing"
@@ -663,6 +664,25 @@ type ServiceOptions struct {
 	// leaves checkpoints to Close and Service.Checkpoint. A checkpoint
 	// is also written right after every compaction.
 	CheckpointEvery int
+	// Shards, when greater than one, runs the service in the in-process
+	// sharded deployment mode: that many shard workers — each with its
+	// own store, index cache, and micro-batching pipeline — behind a
+	// router that hash-partitions the vertex space. A query whose
+	// endpoints share a worker joins that worker's micro-batches
+	// unchanged; a query whose endpoints are owned by different workers
+	// runs a scatter-gather join: each owner enumerates its half of the
+	// bidirectional search and the coordinator splices the halves at the
+	// boundary vertices. Results are identical to the unsharded service.
+	// Updates fan out to every worker atomically per epoch. Not yet
+	// compatible with DataDir (sharded durability rides on the wire
+	// protocol follow-up; see docs/ARCHITECTURE.md). Zero or one means
+	// the ordinary single-process service.
+	Shards int
+	// MaxCrossShard bounds the cross-shard scatter-gather joins running
+	// concurrently when Shards > 1; excess cross-shard queries are shed
+	// with ErrOverloaded. Single-shard traffic is governed per worker by
+	// MaxInFlight/MaxQueued/MaxPerCaller as usual. Zero means unlimited.
+	MaxCrossShard int
 }
 
 // FsyncPolicy selects when WAL appends reach stable storage; see
@@ -692,9 +712,29 @@ type StoreState = store.State
 // engines so concurrent queries share their common sub-queries, and
 // resolves every caller with exactly its own results. All methods are
 // safe for concurrent use; Close releases the collector.
+//
+// With ServiceOptions.Shards > 1 the same API is served by the sharded
+// deployment — a routing coordinator over per-shard workers — with
+// identical results; ShardTotals and Sharding expose the per-worker
+// view.
 type Service struct {
-	svc     *service.Service
+	svc     backend
+	coord   *shard.Coordinator // non-nil iff Shards > 1
 	maxHops int
+}
+
+// backend is the deployment behind a Service: the single-process
+// micro-batching service, or the sharded coordinator. Both expose the
+// same submit/update/stats surface, so every Service method delegates
+// without caring which deployment answers.
+type backend interface {
+	Submit(ctx context.Context, caller string, q query.Query, collect bool) (*service.Reply, error)
+	ApplyUpdates(adds, dels []graph.Edge) (uint64, error)
+	Epoch() uint64
+	Stats() service.Totals
+	State() store.State
+	Checkpoint() error
+	Close() error
 }
 
 // config lowers the public options onto the internal service config.
@@ -722,6 +762,8 @@ func (o ServiceOptions) config() service.Config {
 		Fsync:           o.Fsync,
 		SyncEvery:       o.SyncEvery,
 		CheckpointEvery: o.CheckpointEvery,
+		Shards:          o.Shards,
+		MaxCrossShard:   o.MaxCrossShard,
 	}
 }
 
@@ -738,6 +780,10 @@ func NewService(g *Graph, opts *ServiceOptions) *Service {
 	if o.DataDir != "" {
 		panic("hcpath: ServiceOptions.DataDir requires OpenService, which can report I/O errors")
 	}
+	if o.Shards > 1 {
+		coord := shard.New(g.g, g.gr, o.config())
+		return &Service{svc: coord, coord: coord, maxHops: o.maxHops()}
+	}
 	return &Service{svc: service.New(g.g, g.gr, o.config()), maxHops: o.maxHops()}
 }
 
@@ -752,6 +798,15 @@ func OpenService(g *Graph, opts *ServiceOptions) (*Service, error) {
 	var o ServiceOptions
 	if opts != nil {
 		o = *opts
+	}
+	if o.Shards > 1 {
+		if o.DataDir != "" {
+			return nil, fmt.Errorf("hcpath: Shards > 1 with DataDir is not supported yet — sharded durability lands with the wire protocol (see ROADMAP.md)")
+		}
+		if g == nil {
+			return nil, fmt.Errorf("hcpath: OpenService needs a graph or a DataDir")
+		}
+		return NewService(g, &o), nil
 	}
 	var ig, igr *graph.Graph
 	if g != nil {
@@ -853,8 +908,53 @@ func (s *Service) ApplyUpdates(adds, dels []Edge) (uint64, error) {
 // compaction.
 func (s *Service) Epoch() uint64 { return s.svc.Epoch() }
 
-// Totals returns a snapshot of the service's lifetime counters.
+// Totals returns a snapshot of the service's lifetime counters. On a
+// sharded service, the per-worker totals are merged into one
+// deployment-wide view (cross-shard joins counted as batches of one);
+// ShardTotals exposes the unmerged per-worker counters.
 func (s *Service) Totals() ServiceTotals { return s.svc.Stats() }
+
+// ShardingStats counts how a sharded service classified its traffic:
+// queries forwarded whole to the worker owning both endpoints
+// (SingleShard), scatter-gather joins across two workers (CrossShard),
+// and cross-shard queries shed at the MaxCrossShard bound (CrossShed).
+type ShardingStats = shard.RoutingStats
+
+// ShardOf returns the worker that owns vertex v in a deployment of the
+// given shard count — the hash partition the sharded service routes
+// by. It is deterministic across runs and total over the ID space
+// (vertices created later by ApplyUpdates already have an owner), so
+// clients and tests can predict placement. Any count below two maps
+// every vertex to worker 0.
+func ShardOf(v VertexID, shards int) int { return shard.ShardOf(v, shards) }
+
+// NumShards returns the service's worker count: 1 for the ordinary
+// single-process service, ServiceOptions.Shards for a sharded one.
+func (s *Service) NumShards() int {
+	if s.coord == nil {
+		return 1
+	}
+	return s.coord.NumShards()
+}
+
+// ShardTotals returns each shard worker's own lifetime counters, in
+// shard order, or nil for an unsharded service. Cross-shard joins run
+// outside the worker pipelines and appear only in the merged Totals.
+func (s *Service) ShardTotals() []ServiceTotals {
+	if s.coord == nil {
+		return nil
+	}
+	return s.coord.ShardTotals()
+}
+
+// Sharding returns the routing counters of a sharded service; the zero
+// value for an unsharded one.
+func (s *Service) Sharding() ShardingStats {
+	if s.coord == nil {
+		return ShardingStats{}
+	}
+	return s.coord.Routing()
+}
 
 // Checkpoint forces a durable snapshot of the current graph epoch to
 // the service's DataDir, so a restart replays a minimal WAL tail. It

@@ -99,6 +99,23 @@ func levelCount(dm *msbfs.DistMap, d uint8) int {
 	return c
 }
 
+// CollectHalf runs one side of the bidirectional search standalone: it
+// records into out every simple partial path rooted at root with at
+// most budget hops, pruned against other — the hop-bounded distance
+// map of the query's opposite endpoint in the opposite direction
+// (dist over Gr from t for a forward half on G; dist over G from s for
+// a backward half on Gr). The two stores it fills are exactly what
+// pathjoin.JoinHalvesControlled consumes.
+//
+// The shard layer reuses this at partition boundaries: the shard
+// owning s collects the forward half, the shard owning t the backward
+// half, and the coordinator joins the gathered halves — the same
+// split-at-⌈k/2⌉ machinery a single-process engine applies at a
+// query's midpoint, applied at the shard boundary instead.
+func CollectHalf(g *graph.Graph, root graph.VertexID, budget, k uint8, other *msbfs.DistMap, opts Options, ctrl *query.Control, out *pathjoin.Store) {
+	collectHalf(g, root, budget, k, other, opts, ctrl, out)
+}
+
 // collectHalf performs the pruned DFS of Algorithm 1's Search procedure:
 // it records every simple partial path from root with at most budget
 // hops, expanding only neighbours w with |p| + dist(w, other-endpoint)

@@ -147,6 +147,27 @@ type Config struct {
 	// OnBatch, when non-nil, is called with the stats of every completed
 	// batch, after its callers have been released. Calls are serialised.
 	OnBatch func(BatchStats)
+	// Shards requests the in-process sharded deployment mode: the graph
+	// is served by that many shard workers — each a full Service with
+	// its own store, index cache, and batch pipeline — behind a routing
+	// coordinator. A single Service ignores the field; it is interpreted
+	// by internal/shard (and the hcpath layer above it), which builds
+	// one worker per shard from this Config with Shards cleared. Zero or
+	// one means unsharded.
+	Shards int
+	// MaxCrossShard bounds the cross-shard scatter-gather joins running
+	// concurrently in a sharded deployment; excess cross-shard queries
+	// are shed with ErrOverloaded. Single-shard traffic is governed by
+	// the per-shard MaxInFlight/MaxQueued/MaxPerCaller bounds instead.
+	// Zero or negative means unlimited. Ignored by a single Service.
+	MaxCrossShard int
+	// SyncCompact makes the store fold deltas inline inside
+	// ApplyUpdates instead of in a background goroutine. The sharded
+	// coordinator forces it on so replicas stepping through the same
+	// update sequence pass through identical epoch sequences (background
+	// compaction would bump epochs at racy points); outside that it is
+	// mainly a determinism knob for tests.
+	SyncCompact bool
 }
 
 func (c Config) maxBatch() int {
@@ -286,6 +307,52 @@ func (t *Totals) addBatch(bs BatchStats, deadline bool) {
 	if deadline {
 		t.DeadlineBatches++
 	}
+}
+
+// Merge folds another service's lifetime totals into t, so a sharded
+// deployment can report one Totals across its workers. Counters sum;
+// the gauges that describe a single store or cache take the maximum,
+// which under the shard layer's aligned-epoch invariant (every worker
+// applies every update, at the same epoch) is each worker's common
+// value — except IndexCacheBytes, which sums because each worker owns
+// a separate cache and the deployment's memory footprint is their
+// total. Note the replicated-store counters (UpdatesApplied,
+// Compactions, WALRecords, …) also sum: merging N replicas of the same
+// update stream counts each logical update N times, so deployment-level
+// reporting should overwrite those gauges from one representative
+// worker after merging (see shard.Coordinator.Stats).
+func (t *Totals) Merge(o Totals) {
+	t.Batches += o.Batches
+	t.Queries += o.Queries
+	if o.LargestBatch > t.LargestBatch {
+		t.LargestBatch = o.LargestBatch
+	}
+	t.Groups += o.Groups
+	t.SharedQueries += o.SharedQueries
+	t.SplicedPaths += o.SplicedPaths
+	t.Paths += o.Paths
+	t.WaitNanos += o.WaitNanos
+	t.EnumerateNanos += o.EnumerateNanos
+	t.IndexHits += o.IndexHits
+	t.IndexMisses += o.IndexMisses
+	t.IndexWidened += o.IndexWidened
+	t.IndexEvictions += o.IndexEvictions
+	t.IndexCacheBytes += o.IndexCacheBytes
+	t.Truncated += o.Truncated
+	t.DeadlineBatches += o.DeadlineBatches
+	if o.Epoch > t.Epoch {
+		t.Epoch = o.Epoch
+	}
+	t.UpdatesApplied += o.UpdatesApplied
+	t.Compactions += o.Compactions
+	t.DeltaEdges += o.DeltaEdges
+	t.WALRecords += o.WALRecords
+	t.Checkpoints += o.Checkpoints
+	if o.SnapshotEpoch > t.SnapshotEpoch {
+		t.SnapshotEpoch = o.SnapshotEpoch
+	}
+	t.Plan.Add(o.Plan)
+	t.Shed += o.Shed
 }
 
 // IndexHitRatio is the fraction of index probes answered from the
@@ -435,7 +502,7 @@ type Service struct {
 // precomputed reverse). The caller must Close it to release the
 // collector. Config.DataDir is ignored — use Open for durability.
 func New(g, gr *graph.Graph, cfg Config) *Service {
-	return newWithStore(store.NewWithReverse(g, gr, store.Options{CompactAfter: cfg.CompactAfter}), cfg)
+	return newWithStore(store.NewWithReverse(g, gr, store.Options{CompactAfter: cfg.CompactAfter, SyncCompact: cfg.SyncCompact}), cfg)
 }
 
 // Open starts a service like New, but honours Config.DataDir: when it
@@ -449,7 +516,7 @@ func Open(g, gr *graph.Graph, cfg Config) (*Service, error) {
 		return New(g, gr, cfg), nil
 	}
 	st, err := store.Open(cfg.DataDir, g, store.DurableOptions{
-		Options:         store.Options{CompactAfter: cfg.CompactAfter},
+		Options:         store.Options{CompactAfter: cfg.CompactAfter, SyncCompact: cfg.SyncCompact},
 		Fsync:           cfg.Fsync,
 		SyncEvery:       cfg.SyncEvery,
 		CheckpointEvery: cfg.CheckpointEvery,

@@ -1,0 +1,453 @@
+// Package shard implements the in-process sharded deployment mode: N
+// shard workers — each a full service.Service with its own versioned
+// store.Store, cross-batch hcindex cache, and micro-batching pipeline —
+// behind a Coordinator that hash-partitions the vertex space, routes
+// queries, and fans updates out.
+//
+// # Routing
+//
+// ShardOf hash-partitions vertex IDs across the workers. A query whose
+// endpoints both land on one shard is single-shard: the coordinator
+// forwards it unchanged into that worker's micro-batching pipeline,
+// where it coalesces with the worker's other traffic exactly as in the
+// single-process deployment (sharing detection, planner, admission
+// control included). A query whose endpoints land on different shards
+// is cross-shard and runs the scatter-gather protocol:
+//
+//  1. Scatter — the shard owning s resolves the forward hop-distance
+//     map of s and the shard owning t the backward map of t, each
+//     through its own index cache, so index state stays partitioned by
+//     endpoint ownership.
+//  2. Half-path enumeration — the owner of s collects the forward
+//     partial paths up to ⌈K/2⌉ hops and the owner of t the backward
+//     partial paths up to ⌊K/2⌋ hops (pathenum.CollectHalf), each side
+//     pruned by the other side's distance map (Lemma 3.1).
+//  3. Gather and join — the coordinator joins the two half-path stores
+//     at their boundary (meeting) vertices with pathjoin's unique-split
+//     ⊕ concatenation: the machinery a single-process engine applies at
+//     a query's midpoint, reused at the shard boundary.
+//
+// The protocol mirrors pathenum.EnumerateControlled step for step
+// (plain search order, budgets ⌈K/2⌉/⌊K/2⌋), so sharded results are
+// identical to single-process results; the differential suite in this
+// package proves it over the testgraphs corpus for N ∈ {2, 3, 8},
+// live updates included.
+//
+// # Updates and epochs
+//
+// ApplyUpdates fans every update out to all workers under the
+// coordinator's write lock, and the workers compact synchronously
+// (Config.SyncCompact is forced on), so every worker steps through the
+// identical epoch sequence — updates stay atomic per epoch, and a
+// cross-shard query, which pins both endpoint snapshots under the read
+// lock, always joins two halves of the same epoch. The fan-out
+// asserts the invariant and fails loudly on divergence.
+//
+// # Admission control
+//
+// Per-worker admission (MaxQueued, MaxPerCaller, MaxInFlight) applies
+// unchanged to single-shard traffic: a worker's ErrOverloaded
+// propagates to the caller with its retry-after semantics intact. The
+// coordinator adds Config.MaxCrossShard, bounding concurrent
+// cross-shard joins; excess cross-shard queries are shed with a
+// wrapped service.ErrOverloaded before any shard does work on their
+// behalf.
+//
+// # Scope
+//
+// Every worker replicates the full edge set: this mode partitions
+// query routing, index state, and enumeration work — not storage — and
+// exercises the exact protocol shape (endpoint ownership, scatter,
+// boundary join) a wire-protocol deployment needs. The gRPC/HTTP
+// transport that would let workers hold disjoint partitions on
+// separate machines is the follow-up step tracked in ROADMAP.md;
+// durable sharded stores (per-worker DataDir) ride on the same
+// follow-up.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/hcindex"
+	"repro/internal/msbfs"
+	"repro/internal/pathjoin"
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// ShardOf returns the worker owning vertex v among n shards: a
+// multiplicative (Fibonacci) hash of the ID, so the dense small IDs
+// real graphs use spread evenly instead of striping, and ownership is
+// stable across runs and processes. n ≤ 1 maps everything to shard 0.
+// The function is total over the ID space, so vertices that do not
+// exist yet — updates grow the vertex space — already have an owner.
+func ShardOf(v graph.VertexID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int((uint64(v) * 0x9E3779B97F4A7C15 >> 32) % uint64(n))
+}
+
+// RoutingStats counts how the coordinator classified traffic.
+type RoutingStats struct {
+	// Shards is the worker count.
+	Shards int
+	// SingleShard counts queries whose endpoints shared a worker and
+	// were forwarded into its batch pipeline; CrossShard counts
+	// completed scatter-gather joins; CrossShed counts cross-shard
+	// queries shed at the MaxCrossShard bound.
+	SingleShard, CrossShard, CrossShed int64
+}
+
+// crossAgg accumulates the stats of completed cross-shard joins, which
+// bypass the per-worker batch pipeline and so appear in no worker's
+// Totals.
+type crossAgg struct {
+	paths, nanos, truncated, deadline int64
+	hits, misses                      int64
+}
+
+// Coordinator is the sharded deployment's front door. It exposes the
+// same method set as service.Service (Submit, ApplyUpdates, Stats,
+// Epoch, State, Checkpoint, Close), so the public hcpath.Service can
+// sit on either interchangeably. All methods are safe for concurrent
+// use.
+type Coordinator struct {
+	cfg    service.Config
+	shards []*service.Service
+
+	// mu orders update fan-out against cross-shard snapshot pinning:
+	// ApplyUpdates holds the write side while stepping every worker to
+	// the next epoch, and a cross-shard query pins its two endpoint
+	// snapshots under the read side — so the pair is always from one
+	// epoch. Single-shard queries bypass mu entirely: they run on one
+	// worker's snapshot, which is consistent by construction.
+	mu     sync.RWMutex
+	closed bool
+
+	// crossSlots is the MaxCrossShard admission semaphore; nil means
+	// unlimited.
+	crossSlots chan struct{}
+
+	single, cross, shed atomic.Int64
+
+	aggMu sync.Mutex
+	agg   crossAgg
+}
+
+// New builds a coordinator with cfg.Shards workers (minimum one), each
+// a full in-memory service over its own replica of g/gr. Workers run
+// with SyncCompact forced on (see the package comment) and split a
+// configured index-cache budget evenly, so the deployment's total
+// cache memory matches the single-process configuration. Durable
+// stores are not supported in sharded mode: New panics on a non-empty
+// DataDir (hcpath.OpenService reports it as an error first).
+func New(g, gr *graph.Graph, cfg service.Config) *Coordinator {
+	if cfg.DataDir != "" {
+		panic("shard: durable sharded deployment is not supported (DataDir with Shards > 1)")
+	}
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	workerCfg := cfg
+	workerCfg.Shards = 0
+	workerCfg.SyncCompact = true
+	switch {
+	case cfg.IndexCacheBytes < 0:
+		// Caching disabled; each worker gets a pooled builder.
+	case cfg.IndexCacheBytes == 0:
+		workerCfg.IndexCacheBytes = hcindex.DefaultCacheBytes / int64(n)
+	default:
+		if workerCfg.IndexCacheBytes = cfg.IndexCacheBytes / int64(n); workerCfg.IndexCacheBytes < 1 {
+			workerCfg.IndexCacheBytes = 1 // 0 would flip the meaning back to "default budget"
+		}
+	}
+	c := &Coordinator{cfg: cfg, shards: make([]*service.Service, n)}
+	for i := range c.shards {
+		c.shards[i] = service.New(g, gr, workerCfg)
+	}
+	if cfg.MaxCrossShard > 0 {
+		c.crossSlots = make(chan struct{}, cfg.MaxCrossShard)
+	}
+	return c
+}
+
+// NumShards returns the worker count.
+func (c *Coordinator) NumShards() int { return len(c.shards) }
+
+// ShardOf returns the worker owning vertex v.
+func (c *Coordinator) ShardOf(v graph.VertexID) int { return ShardOf(v, len(c.shards)) }
+
+// Submit answers one query with service.Submit semantics: it blocks
+// until the result is ready or ctx fires, validates before any work
+// runs, and sheds with a wrapped service.ErrOverloaded under overload.
+// Single-shard queries forward into the owning worker's batch pipeline
+// (the caller string feeds that worker's fairness quota); cross-shard
+// queries run the scatter-gather join, bounded by MaxCrossShard.
+func (c *Coordinator) Submit(ctx context.Context, caller string, q query.Query, collect bool) (*service.Reply, error) {
+	sa, sb := c.ShardOf(q.S), c.ShardOf(q.T)
+	if sa == sb {
+		c.single.Add(1)
+		return c.shards[sa].Submit(ctx, caller, q, collect)
+	}
+	return c.crossShard(ctx, q, collect, sa, sb)
+}
+
+// crossShard runs the scatter-gather protocol of the package comment.
+// It deliberately mirrors pathenum.EnumerateControlled — same budgets,
+// same plain search order, same join — with the two halves delegated
+// to the workers owning the endpoints.
+func (c *Coordinator) crossShard(ctx context.Context, q query.Query, collect bool, sa, sb int) (*service.Reply, error) {
+	if c.crossSlots != nil {
+		select {
+		case c.crossSlots <- struct{}{}:
+			defer func() { <-c.crossSlots }()
+		default:
+			c.shed.Add(1)
+			return nil, fmt.Errorf("shard: %d cross-shard joins in flight (MaxCrossShard %d): %w",
+				cap(c.crossSlots), cap(c.crossSlots), service.ErrOverloaded)
+		}
+	}
+
+	// Pin both endpoint snapshots under the read lock: with update
+	// fan-out excluded, the pair is guaranteed to carry one epoch. The
+	// snapshots are immutable, so the lock is released before any
+	// enumeration work.
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return nil, service.ErrClosed
+	}
+	snapA := c.shards[sa].CurrentSnapshot()
+	snapB := c.shards[sb].CurrentSnapshot()
+	c.mu.RUnlock()
+
+	// Same pre-validation as service.Submit (every replica holds the
+	// full graph, so either snapshot works), so a malformed query fails
+	// identically whether or not its endpoints share a shard.
+	if err := q.Validate(snapA.Graph()); err != nil {
+		return nil, err
+	}
+	c.cross.Add(1)
+
+	t0 := time.Now()
+	var deadline time.Time
+	if c.cfg.QueryTimeout > 0 {
+		deadline = t0.Add(c.cfg.QueryTimeout)
+	}
+	ctrl := query.NewControl(ctx, deadline, c.cfg.Limit, 1)
+
+	// Scatter, phase 1: each owner resolves its endpoint's distance map
+	// through its own index cache, concurrently.
+	var (
+		fwd, bwd   *msbfs.DistMap
+		idxA, idxB *hcindex.Index
+		wg         sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		bwd, idxB = c.shards[sb].AcquireDist(snapB, q.T, q.K, hcindex.Backward)
+	}()
+	fwd, idxA = c.shards[sa].AcquireDist(snapA, q.S, q.K, hcindex.Forward)
+	wg.Wait()
+	defer idxA.Release()
+	defer idxB.Release()
+
+	reply := &service.Reply{}
+	emit := func(p []graph.VertexID) {
+		reply.Count++
+		if collect {
+			cp := make([]graph.VertexID, len(p))
+			copy(cp, p)
+			reply.Paths = append(reply.Paths, cp)
+		}
+	}
+	if bwd.Dist(q.S) > q.K {
+		// t unreachable from s within K hops: complete empty result.
+		ctrl.MarkComplete(0)
+	} else {
+		// Scatter, phase 2: each owner enumerates its half, pruned by
+		// the opposite owner's map.
+		fwdPaths := pathjoin.NewStore(64, 256)
+		bwdPaths := pathjoin.NewStore(64, 256)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.shards[sb].HalfPaths(snapB, hcindex.Backward, q.T, q.BwdBudget(), q.K, fwd, ctrl, bwdPaths)
+		}()
+		c.shards[sa].HalfPaths(snapA, hcindex.Forward, q.S, q.FwdBudget(), q.K, bwd, ctrl, fwdPaths)
+		wg.Wait()
+		// Gather, phase 3: join at the boundary vertices. Partial halves
+		// of a cancelled run must not reach the join.
+		if !ctrl.Cancelled() {
+			pathjoin.JoinHalvesControlled(fwdPaths, bwdPaths, q.K, false, ctrl, 0, emit)
+		}
+		if !ctrl.Cancelled() {
+			ctrl.MarkComplete(0)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Submit parity: a caller whose context fired gets the error,
+		// not a partial reply.
+		return nil, err
+	}
+	reply.Truncated = ctrl.Truncated(0)
+	reply.Err = ctrl.QueryErr(0)
+
+	nanos := time.Since(t0).Nanoseconds()
+	reply.Batch = service.BatchStats{
+		Queries:        1,
+		Groups:         1,
+		Paths:          reply.Count,
+		EnumerateNanos: nanos,
+		IndexHits:      idxA.Hits + idxB.Hits,
+		IndexMisses:    idxA.Misses + idxB.Misses,
+	}
+	if reply.Truncated {
+		reply.Batch.Truncated = 1
+	}
+
+	c.aggMu.Lock()
+	c.agg.paths += reply.Count
+	c.agg.nanos += nanos
+	c.agg.hits += int64(reply.Batch.IndexHits)
+	c.agg.misses += int64(reply.Batch.IndexMisses)
+	if reply.Truncated {
+		c.agg.truncated++
+	}
+	if ctrl.Err() == context.DeadlineExceeded {
+		c.agg.deadline++
+	}
+	c.aggMu.Unlock()
+	return reply, nil
+}
+
+// ApplyUpdates publishes one new epoch across every worker atomically:
+// the write lock excludes cross-shard snapshot pinning while each
+// replica applies the same adds/dels (store.ApplyUpdates semantics),
+// and synchronous compaction keeps the per-replica epoch sequences
+// identical — the fan-out asserts they are and fails loudly otherwise.
+// Returns the epoch now current on all workers.
+func (c *Coordinator) ApplyUpdates(adds, dels []graph.Edge) (uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return c.shards[0].Epoch(), service.ErrClosed
+	}
+	epoch, err := c.shards[0].ApplyUpdates(adds, dels)
+	if err != nil {
+		return epoch, err
+	}
+	for i, sh := range c.shards[1:] {
+		e, err := sh.ApplyUpdates(adds, dels)
+		if err != nil {
+			return epoch, fmt.Errorf("shard: update fan-out failed on shard %d at epoch %d: %w", i+1, epoch, err)
+		}
+		if e != epoch {
+			return epoch, fmt.Errorf("shard: epoch diverged after update fan-out: shard 0 at %d, shard %d at %d", epoch, i+1, e)
+		}
+	}
+	return epoch, nil
+}
+
+// Epoch returns the current epoch, identical on every worker by the
+// aligned-epoch invariant.
+func (c *Coordinator) Epoch() uint64 { return c.shards[0].Epoch() }
+
+// State identifies the current snapshot (see service.State); the
+// aligned replicas agree, so worker 0 speaks for the deployment.
+func (c *Coordinator) State() store.State { return c.shards[0].State() }
+
+// Checkpoint forwards to every worker; all workers are in-memory, so
+// it returns nil until sharded durability lands.
+func (c *Coordinator) Checkpoint() error {
+	for _, sh := range c.shards {
+		if err := sh.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats folds every worker's lifetime Totals into one deployment view
+// (Totals.Merge), then adds the cross-shard joins — each reported as a
+// batch of one query — and corrects the store gauges that merging
+// replicas would multiply: the logical update stream is counted once,
+// from worker 0. IndexCacheBytes stays summed across workers (each
+// owns a cache; the deployment's footprint is their total).
+func (c *Coordinator) Stats() service.Totals {
+	per := c.ShardTotals()
+	var t service.Totals
+	for _, st := range per {
+		t.Merge(st)
+	}
+	s0 := per[0]
+	t.UpdatesApplied = s0.UpdatesApplied
+	t.Compactions = s0.Compactions
+	t.DeltaEdges = s0.DeltaEdges
+	t.WALRecords = s0.WALRecords
+	t.Checkpoints = s0.Checkpoints
+
+	c.aggMu.Lock()
+	a := c.agg
+	c.aggMu.Unlock()
+	cross := c.cross.Load()
+	t.Batches += cross
+	t.Queries += cross
+	t.Paths += a.paths
+	t.EnumerateNanos += a.nanos
+	t.IndexHits += a.hits
+	t.IndexMisses += a.misses
+	t.Truncated += a.truncated
+	t.DeadlineBatches += a.deadline
+	t.Shed += c.shed.Load()
+	return t
+}
+
+// ShardTotals returns each worker's own lifetime Totals, in shard
+// order — the per-shard view behind the merged Stats. Cross-shard
+// joins bypass the worker pipelines and appear only in Stats.
+func (c *Coordinator) ShardTotals() []service.Totals {
+	per := make([]service.Totals, len(c.shards))
+	for i, sh := range c.shards {
+		per[i] = sh.Stats()
+	}
+	return per
+}
+
+// Routing returns the coordinator's traffic-classification counters.
+func (c *Coordinator) Routing() RoutingStats {
+	return RoutingStats{
+		Shards:      len(c.shards),
+		SingleShard: c.single.Load(),
+		CrossShard:  c.cross.Load(),
+		CrossShed:   c.shed.Load(),
+	}
+}
+
+// Close shuts every worker down. Idempotent; Submit and ApplyUpdates
+// after Close return service.ErrClosed.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var first error
+	for _, sh := range c.shards {
+		if err := sh.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

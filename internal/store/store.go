@@ -14,6 +14,20 @@
 // snapshot is published, periodic checkpoint files capture the full CSR,
 // and a warm restart replays snapshot + WAL tail back to the exact
 // pre-crash epoch and edge set (see wal.go and durable.go).
+//
+// The durable on-disk format, in brief: a data directory holds
+// epoch-named files (zero-padded so lexical order is numeric order) of
+// two kinds. wal-<epoch>.log segments carry length-prefixed, CRC32-C
+// framed records — a kind byte (update / compaction / no-op), the
+// little-endian epoch the record transitions to, and the add/delete
+// edge lists. snap-<epoch>.snap checkpoints carry a magic, a fixed
+// header (epoch, WAL cursor, counters), the canonical
+// graph.WriteBinary CSR, and a CRC32-C trailer over everything before
+// it; they are written to a temp file, fsynced, and atomically
+// renamed. The WAL rotates before each snapshot is written, so every
+// crash window stays recoverable; recovery loads the newest CRC-valid
+// snapshot and replays the segments at or after its epoch, tolerating
+// a torn tail only on the final segment.
 package store
 
 import (

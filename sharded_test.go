@@ -1,0 +1,187 @@
+package hcpath
+
+// Public-API gate for the sharded deployment: ServiceOptions.Shards
+// must serve exactly the single-process service's results over the
+// equivalence corpus, compose with live updates, and report its
+// routing/per-shard view coherently.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// servicePaths answers qs through svc concurrently and returns the
+// canonicalised per-query path sets.
+func servicePaths(t *testing.T, svc *Service, qs []Query) [][]string {
+	t.Helper()
+	out := make([][]string, len(qs))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i, q := range qs {
+		wg.Add(1)
+		go func(i int, q Query) {
+			defer wg.Done()
+			paths, _, err := svc.Query(context.Background(), q)
+			if err != nil {
+				mu.Lock()
+				t.Errorf("query %d (%d→%d k=%d): %v", i, q.S, q.T, q.K, err)
+				mu.Unlock()
+				return
+			}
+			rendered := make([]string, len(paths))
+			for j, p := range paths {
+				rendered[j] = p.String()
+			}
+			sort.Strings(rendered)
+			out[i] = rendered
+		}(i, q)
+	}
+	wg.Wait()
+	return out
+}
+
+func publicCorpus() []struct {
+	name string
+	g    *Graph
+	qs   []Query
+} {
+	var cases []struct {
+		name string
+		g    *Graph
+		qs   []Query
+	}
+	for _, tc := range equivalenceCorpus() {
+		qs := make([]Query, len(tc.qs))
+		for i, q := range tc.qs {
+			qs[i] = Query{S: q.S, T: q.T, K: int(q.K)}
+		}
+		cases = append(cases, struct {
+			name string
+			g    *Graph
+			qs   []Query
+		}{tc.name, wrap(tc.g), qs})
+	}
+	return cases
+}
+
+func TestShardedServiceEquivalence(t *testing.T) {
+	for _, tc := range publicCorpus() {
+		single := NewService(tc.g, nil)
+		want := servicePaths(t, single, tc.qs)
+		single.Close()
+		for _, n := range []int{2, 3, 8} {
+			svc := NewService(tc.g, &ServiceOptions{Shards: n})
+			if svc.NumShards() != n {
+				t.Errorf("%s: NumShards = %d, want %d", tc.name, svc.NumShards(), n)
+			}
+			got := servicePaths(t, svc, tc.qs)
+			label := fmt.Sprintf("sharded/%s/n=%d", tc.name, n)
+			for i := range want {
+				diffQuery(t, label, i, want[i], got[i])
+			}
+			rs := svc.Sharding()
+			if rs.Shards != n || rs.SingleShard+rs.CrossShard != int64(len(tc.qs)) {
+				t.Errorf("%s: routing %+v does not account for %d queries", label, rs, len(tc.qs))
+			}
+			if per := svc.ShardTotals(); len(per) != n {
+				t.Errorf("%s: ShardTotals has %d entries, want %d", label, len(per), n)
+			}
+			svc.Close()
+		}
+	}
+}
+
+// TestShardedServiceLiveUpdates drives the public API through update
+// waves on sharded and unsharded deployments and compares the results
+// after each wave.
+func TestShardedServiceLiveUpdates(t *testing.T) {
+	build := func() *Graph {
+		g, err := NewGraph(6, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	single := NewService(build(), nil)
+	defer single.Close()
+	svc := NewService(build(), &ServiceOptions{Shards: 3})
+	defer svc.Close()
+
+	waves := [][2][]Edge{ // {adds, dels}
+		{{{0, 3}, {5, 0}}, nil},
+		{{{2, 7}, {7, 5}}, {{2, 3}}}, // grows the vertex space to 8
+		{{{3, 1}}, {{0, 1}}},
+	}
+	qs := []Query{
+		{S: 0, T: 5, K: 6}, {S: 0, T: 4, K: 5}, {S: 5, T: 3, K: 4}, {S: 2, T: 5, K: 3},
+	}
+	for w, wave := range waves {
+		if _, err := single.ApplyUpdates(wave[0], wave[1]); err != nil {
+			t.Fatalf("wave %d: single: %v", w, err)
+		}
+		if _, err := svc.ApplyUpdates(wave[0], wave[1]); err != nil {
+			t.Fatalf("wave %d: sharded: %v", w, err)
+		}
+		want := servicePaths(t, single, qs)
+		got := servicePaths(t, svc, qs)
+		for i := range want {
+			diffQuery(t, fmt.Sprintf("live/wave=%d", w), i, want[i], got[i])
+		}
+	}
+	if svc.State().Checksum != single.State().Checksum {
+		t.Errorf("final graphs diverged: sharded %+v vs single %+v", svc.State(), single.State())
+	}
+}
+
+func TestShardOfMatchesDeploymentRouting(t *testing.T) {
+	for v := VertexID(0); v < 64; v++ {
+		for _, n := range []int{1, 2, 5} {
+			if got, want := ShardOf(v, n), shard.ShardOf(v, n); got != want {
+				t.Fatalf("public ShardOf(%d,%d) = %d, internal says %d", v, n, got, want)
+			}
+		}
+	}
+}
+
+func TestShardedOptionErrors(t *testing.T) {
+	g, err := NewGraph(4, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenService(g, &ServiceOptions{Shards: 2, DataDir: t.TempDir()}); err == nil {
+		t.Error("OpenService must reject Shards > 1 with DataDir")
+	} else if !strings.Contains(err.Error(), "Shards") {
+		t.Errorf("error should name the conflicting option: %v", err)
+	}
+	if _, err := OpenService(nil, &ServiceOptions{Shards: 2}); err == nil {
+		t.Error("OpenService must reject a sharded deployment with no graph")
+	}
+
+	// Shards <= 1 is the ordinary service; the sharded accessors report
+	// the unsharded view rather than failing.
+	svc := NewService(g, &ServiceOptions{Shards: 1})
+	defer svc.Close()
+	if svc.NumShards() != 1 || svc.ShardTotals() != nil || svc.Sharding() != (ShardingStats{}) {
+		t.Errorf("unsharded service leaks shard state: shards=%d totals=%v routing=%+v",
+			svc.NumShards(), svc.ShardTotals(), svc.Sharding())
+	}
+
+	// OpenService with Shards and no DataDir is valid and sharded.
+	sh, err := OpenService(g, &ServiceOptions{Shards: 2})
+	if err != nil {
+		t.Fatalf("OpenService sharded: %v", err)
+	}
+	defer sh.Close()
+	if sh.NumShards() != 2 {
+		t.Errorf("OpenService built %d shards, want 2", sh.NumShards())
+	}
+	if _, _, err := sh.Query(context.Background(), Query{S: 0, T: 3, K: 3}); err != nil {
+		t.Errorf("query on OpenService sharded deployment: %v", err)
+	}
+}
