@@ -24,6 +24,22 @@
 // The updates file holds one operation per line: "add u v" ("a u v"),
 // "del u v" ("d u v"), or "query s t k" ("q s t k"); '#' comments.
 //
+// Serve mode runs one shard worker of a multi-process deployment: the
+// process owns shard i of N over its replica of the graph and answers
+// a coordinator's wire RPCs over TCP until SIGINT/SIGTERM. Connect
+// mode is that coordinator: it dials one worker address per shard and
+// drives replay or update-replay against the cluster, with results
+// identical to the single-process service:
+//
+//	hcpath -graph g.txt -serve -shard 0/2 -listen :7070   # worker 0
+//	hcpath -graph g.txt -serve -shard 1/2 -listen :7071   # worker 1
+//	hcpath -connect localhost:7070,localhost:7071 -queries q.txt -replay
+//	hcpath -connect localhost:7070,localhost:7071 -updates ops.txt
+//
+// A worker given -datadir owns that directory as its durable store
+// (WAL + snapshots) — give each worker its own; restarting the worker
+// warm-restarts from disk and -graph may then be omitted.
+//
 // The graph file is an edge list ("src dst" per line, '#' comments) or
 // the repository's binary format (.bin). The query file holds one
 // "s t k" triple per line. The engine defaults to BatchEnum+, the
@@ -36,11 +52,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	hcpath "repro"
@@ -74,23 +93,44 @@ func main() {
 		maxInFlight = flag.Int("maxinflight", 0, "replay: max concurrent batches (0 = unlimited)")
 		maxQueued   = flag.Int("maxqueued", 0, "replay: max admitted-but-undispatched queries; excess shed with ErrOverloaded (0 = unlimited)")
 		shards      = flag.Int("shards", 0, "replay/update-replay: shard workers in the in-process sharded deployment (0 or 1 = unsharded)")
+		serve       = flag.Bool("serve", false, "run one shard worker serving the wire protocol (needs -shard and -listen)")
+		shardSpec   = flag.String("shard", "", "serve: this worker's identity as 'i/N' (shard i of N)")
+		listenAddr  = flag.String("listen", "", "serve: TCP address to listen on, e.g. :7070")
+		connectTo   = flag.String("connect", "", "replay/update-replay against remote workers: comma-separated addresses, one per shard in shard order")
 		verbose     = flag.Bool("v", false, "replay: print every batch's stats")
 	)
 	flag.Parse()
 
-	if *dataDir != "" && *updates == "" {
-		fail("-datadir requires -updates (update-replay is the durable mode)")
+	if *dataDir != "" && *updates == "" && !*serve {
+		fail("-datadir requires -updates or -serve (the durable modes)")
 	}
-	if *shards > 1 {
+	if *serve {
+		if *shardSpec == "" || *listenAddr == "" {
+			fail("-serve needs -shard i/N and -listen addr")
+		}
+		if *replay || *updates != "" || *queryPath != "" || *oneQuery != "" || *connectTo != "" || *shards > 1 {
+			fail("-serve runs a worker; it takes no queries, updates, -connect, or -shards")
+		}
+	} else if *shardSpec != "" || *listenAddr != "" {
+		fail("-shard and -listen only apply to -serve")
+	}
+	if *connectTo != "" {
+		if *shards > 1 {
+			fail("-connect derives the shard count from the address list; drop -shards")
+		}
 		if *dataDir != "" {
-			fail("-shards with -datadir is not supported yet: sharded durability lands with the wire protocol (see docs/OPERATIONS.md)")
+			fail("-connect with -datadir: durable directories belong to the workers (-serve -datadir)")
 		}
 		if !*replay && *updates == "" {
-			fail("-shards requires -replay or -updates (the sharded deployment serves live traffic)")
+			fail("-connect requires -replay or -updates (the cluster serves live traffic)")
 		}
 	}
+	if *shards > 1 && !*replay && *updates == "" {
+		fail("-shards requires -replay or -updates (the sharded deployment serves live traffic)")
+	}
 	// With -datadir an existing data directory is the graph source; a
-	// -graph only seeds an empty directory.
+	// -graph only seeds an empty directory. With -connect the graph
+	// lives in the worker processes.
 	var g *hcpath.Graph
 	if *graphPath != "" {
 		var err error
@@ -98,7 +138,7 @@ func main() {
 		if err != nil {
 			fail("load graph: %v", err)
 		}
-	} else if *dataDir == "" {
+	} else if *dataDir == "" && *connectTo == "" {
 		fail("missing -graph")
 	}
 	fsync, err := hcpath.ParseFsyncPolicy(*fsyncMode)
@@ -122,11 +162,44 @@ func main() {
 		BuildWorkers:    *buildWork,
 	}
 
+	if *serve {
+		runServe(g, opts, serveConfig{
+			spec:            *shardSpec,
+			listen:          *listenAddr,
+			maxBatch:        *maxBatch,
+			maxWait:         *maxWait,
+			queryTimeout:    *timeout,
+			compactAfter:    *compact,
+			planner:         *usePlanner,
+			maxInFlight:     *maxInFlight,
+			maxQueued:       *maxQueued,
+			dataDir:         *dataDir,
+			fsync:           fsync,
+			checkpointEvery: *ckptEvery,
+		})
+		return
+	}
+
+	var cluster []string
+	if *connectTo != "" {
+		for _, a := range strings.Split(*connectTo, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cluster = append(cluster, a)
+			}
+		}
+		if len(cluster) == 0 {
+			fail("-connect: no worker addresses")
+		}
+	}
+
 	if *updates != "" {
-		if g != nil {
+		switch {
+		case len(cluster) > 0:
+			fmt.Fprintf(os.Stderr, "graph: served by %d remote workers; %s\n", len(cluster), algo)
+		case g != nil:
 			fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %s\n",
 				g.NumVertices(), g.NumEdges(), algo)
-		} else {
+		default:
 			fmt.Fprintf(os.Stderr, "graph: warm restart from %s; %s\n", *dataDir, algo)
 		}
 		runUpdateReplay(g, *updates, opts, updateReplayConfig{
@@ -135,6 +208,7 @@ func main() {
 			queryTimeout:    *timeout,
 			compactAfter:    *compact,
 			shards:          *shards,
+			connect:         cluster,
 			verbose:         *verbose,
 			dataDir:         *dataDir,
 			fsync:           fsync,
@@ -149,8 +223,13 @@ func main() {
 		fail("load queries: %v", err)
 	}
 
-	fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %d queries; %s\n",
-		g.NumVertices(), g.NumEdges(), len(qs), algo)
+	if len(cluster) > 0 {
+		fmt.Fprintf(os.Stderr, "graph: served by %d remote workers; %d queries; %s\n",
+			len(cluster), len(qs), algo)
+	} else {
+		fmt.Fprintf(os.Stderr, "graph: %d vertices, %d edges; %d queries; %s\n",
+			g.NumVertices(), g.NumEdges(), len(qs), algo)
+	}
 
 	if *replay {
 		runReplay(g, qs, opts, replayConfig{
@@ -162,6 +241,7 @@ func main() {
 			maxInFlight: *maxInFlight,
 			maxQueued:   *maxQueued,
 			shards:      *shards,
+			connect:     cluster,
 			verbose:     *verbose,
 		})
 		return
@@ -220,6 +300,89 @@ func reportPartial(st hcpath.Stats, err error) {
 	}
 }
 
+// serveConfig carries runServe's knobs.
+type serveConfig struct {
+	spec, listen          string
+	maxBatch              int
+	maxWait, queryTimeout time.Duration
+	compactAfter          int
+	planner               bool
+	maxInFlight           int
+	maxQueued             int
+
+	dataDir         string
+	fsync           hcpath.FsyncPolicy
+	checkpointEvery int
+}
+
+// parseShardSpec parses a -shard identity "i/N".
+func parseShardSpec(spec string) (idx, n int, err error) {
+	i, rest, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard wants 'i/N', got %q", spec)
+	}
+	idx, err1 := strconv.Atoi(strings.TrimSpace(i))
+	n, err2 := strconv.Atoi(strings.TrimSpace(rest))
+	if err1 != nil || err2 != nil || n < 1 || idx < 0 || idx >= n {
+		return 0, 0, fmt.Errorf("-shard wants 'i/N' with 0 ≤ i < N, got %q", spec)
+	}
+	return idx, n, nil
+}
+
+// runServe runs one shard worker: a full micro-batching service over
+// this process's replica of the graph, answering coordinator RPCs on
+// the wire protocol until SIGINT/SIGTERM shuts it down cleanly
+// (flushing the durable store when -datadir is set).
+func runServe(g *hcpath.Graph, opts hcpath.Options, sc serveConfig) {
+	idx, n, err := parseShardSpec(sc.spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	so := &hcpath.ServiceOptions{
+		Options:         opts,
+		MaxBatch:        sc.maxBatch,
+		MaxWait:         sc.maxWait,
+		QueryTimeout:    sc.queryTimeout,
+		CompactAfter:    sc.compactAfter,
+		MaxInFlight:     sc.maxInFlight,
+		MaxQueued:       sc.maxQueued,
+		DataDir:         sc.dataDir,
+		Fsync:           sc.fsync,
+		CheckpointEvery: sc.checkpointEvery,
+	}
+	if sc.planner {
+		so.Planner = &hcpath.PlannerOptions{}
+	}
+	srv, err := hcpath.NewShardServer(g, so, idx, n)
+	if err != nil {
+		fail("start worker: %v", err)
+	}
+	ln, err := net.Listen("tcp", sc.listen)
+	if err != nil {
+		fail("listen: %v", err)
+	}
+	st := srv.State()
+	fmt.Fprintf(os.Stderr, "serving: shard %d/%d on %s (epoch %d, %d vertices, %d edges)\n",
+		idx, n, ln.Addr(), st.Epoch, st.NumVertices, st.NumEdges)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "serving: caught %v, shutting down\n", s)
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hcpath: close worker: %v\n", err)
+			os.Exit(1)
+		}
+	}()
+	if err := srv.Serve(ln); err != nil {
+		fail("serve: %v", err)
+	}
+	tot := srv.Totals()
+	fmt.Fprintf(os.Stderr, "served: %d queries in %d batches, %d paths; final epoch %d\n",
+		tot.Queries, tot.Batches, tot.Paths, tot.Epoch)
+}
+
 // replayConfig carries runReplay's knobs.
 type replayConfig struct {
 	clients, maxBatch      int
@@ -227,7 +390,24 @@ type replayConfig struct {
 	planner                bool
 	maxInFlight, maxQueued int
 	shards                 int
+	connect                []string // remote worker addresses; empty = in-process
 	verbose                bool
+}
+
+// replayService builds the Service a replay drives: a connection to the
+// remote cluster when addrs is set, an in-process (possibly sharded)
+// service over g otherwise.
+func replayService(g *hcpath.Graph, so *hcpath.ServiceOptions, addrs []string) *hcpath.Service {
+	if len(addrs) == 0 {
+		return hcpath.NewService(g, so)
+	}
+	svc, err := hcpath.ConnectService(context.Background(), addrs, so)
+	if err != nil {
+		fail("connect: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "cluster: %d remote workers (%s)\n",
+		svc.NumShards(), strings.Join(addrs, ", "))
+	return svc
 }
 
 // runReplay pushes the query file through a Service from concurrent
@@ -258,7 +438,7 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, rc repla
 	if rc.planner {
 		so.Planner = &hcpath.PlannerOptions{}
 	}
-	svc := hcpath.NewService(g, so)
+	svc := replayService(g, so, rc.connect)
 	clients := rc.clients
 	if clients < 1 {
 		clients = 1
@@ -280,7 +460,7 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, rc repla
 			defer wg.Done()
 			caller := fmt.Sprintf("client-%d", c)
 			for i := c; i < len(qs); i += clients {
-				delay := time.Millisecond
+				var retry *hcpath.BackoffSleeper // fresh budget per query
 				for {
 					_, _, err := svc.CountFrom(context.Background(), caller, qs[i])
 					switch {
@@ -288,11 +468,23 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, rc repla
 					case errors.Is(err, hcpath.ErrLimitReached) || errors.Is(err, context.DeadlineExceeded):
 						truncated.Add(1) // partial count delivered, not a failure
 					case errors.Is(err, hcpath.ErrOverloaded):
-						// Shed at admission: exponential backoff, retry.
+						// Shed at admission: jittered capped backoff, honouring
+						// a remote worker's retry-after hint, giving up once
+						// the policy's total budget is spent.
 						backoffs.Add(1)
-						time.Sleep(delay)
-						if delay < 64*time.Millisecond {
-							delay *= 2
+						if retry == nil {
+							retry = hcpath.Backoff{}.Start()
+						}
+						var hint time.Duration
+						var oe *hcpath.OverloadedError
+						if errors.As(err, &oe) {
+							hint = oe.RetryAfter
+						}
+						if serr := retry.Sleep(context.Background(), hint); serr != nil {
+							fmt.Fprintf(os.Stderr, "hcpath: query %d: still overloaded after %d retries: %v\n",
+								i, retry.Attempts(), serr)
+							failed.Add(1)
+							break
 						}
 						continue
 					default:
@@ -306,9 +498,11 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, rc repla
 	}
 	wg.Wait()
 	elapsed := time.Since(t0)
-	svc.Close()
-
+	// Read the merged totals before Close: on a remote deployment Close
+	// drops the worker connections the stats plane reads through.
 	tot := svc.Totals()
+	shLine, wLine := shardLine(svc), wireLine(svc)
+	svc.Close()
 	fmt.Printf("replayed %d queries in %v (%.0f q/s), %d failed, %d truncated (%d deadline batches)\n",
 		tot.Queries, elapsed.Round(time.Microsecond),
 		float64(tot.Queries)/elapsed.Seconds(), failed.Load(), truncated.Load(), tot.DeadlineBatches)
@@ -323,9 +517,32 @@ func runReplay(g *hcpath.Graph, qs []hcpath.Query, opts hcpath.Options, rc repla
 		fmt.Println(planLine(tot, backoffs.Load()))
 	}
 	fmt.Println(cacheLine(tot))
-	if line := shardLine(svc); line != "" {
-		fmt.Println(line)
+	if shLine != "" {
+		fmt.Println(shLine)
 	}
+	if wLine != "" {
+		fmt.Println(wLine)
+	}
+}
+
+// wireLine renders a remote deployment's transport summary — per-worker
+// request frames and socket flushes, and the overall write-coalescing
+// factor; empty on any in-process service.
+func wireLine(svc *hcpath.Service) string {
+	ws := svc.Wire()
+	if len(ws) == 0 {
+		return ""
+	}
+	var rpcs, flushes int64
+	var b strings.Builder
+	b.WriteString("wire:")
+	for _, w := range ws {
+		fmt.Fprintf(&b, " %s %d rpcs/%d flushes;", w.Addr, w.RPCs, w.Flushes)
+		rpcs += w.RPCs
+		flushes += w.Flushes
+	}
+	fmt.Fprintf(&b, " coalescing %.1f rpcs/flush", float64(rpcs)/float64(max(flushes, 1)))
+	return b.String()
 }
 
 // shardLine renders the sharded deployment's routing summary; empty on
@@ -433,6 +650,7 @@ type updateReplayConfig struct {
 	maxWait, queryTimeout time.Duration
 	compactAfter          int
 	shards                int
+	connect               []string // remote worker addresses; empty = in-process
 	verbose               bool
 
 	dataDir         string
@@ -466,8 +684,10 @@ func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, cfg upda
 		Shards:       cfg.shards,
 	}
 	var svc *hcpath.Service
-	var skip int64 // update blocks a previous run already applied
-	if cfg.dataDir != "" {
+	switch {
+	case len(cfg.connect) > 0:
+		svc = replayService(nil, so, cfg.connect)
+	case cfg.dataDir != "":
 		so.DataDir = cfg.dataDir
 		so.Fsync = cfg.fsync
 		so.CheckpointEvery = cfg.checkpointEvery
@@ -475,14 +695,18 @@ func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, cfg upda
 		if err != nil {
 			fail("open durable service: %v", err)
 		}
-		if tot := svc.Totals(); tot.WALRecords > 0 {
-			skip = tot.WALRecords
-			st := svc.State()
-			fmt.Fprintf(os.Stderr, "recovered: epoch %d, %d vertices, %d edges, %d update blocks already applied\n",
-				st.Epoch, st.NumVertices, st.NumEdges, skip)
-		}
-	} else {
+	default:
 		svc = hcpath.NewService(g, so)
+	}
+	// Durable deployments — a local -datadir, or remote workers that
+	// warm-restarted from theirs — report the update blocks already in
+	// the recovered state; the replay resumes past them.
+	var skip int64
+	if tot := svc.Totals(); tot.WALRecords > 0 {
+		skip = tot.WALRecords
+		st := svc.State()
+		fmt.Fprintf(os.Stderr, "recovered: epoch %d, %d vertices, %d edges, %d update blocks already applied\n",
+			st.Epoch, st.NumVertices, st.NumEdges, skip)
 	}
 
 	var queries, failed, truncated, updates int64
@@ -585,17 +809,20 @@ func runUpdateReplay(g *hcpath.Graph, path string, opts hcpath.Options, cfg upda
 	if line := shardLine(svc); line != "" {
 		fmt.Println(line)
 	}
-	if cfg.dataDir != "" {
-		st := svc.State()
-		if err := svc.Close(); err != nil {
-			fail("close durable service: %v", err)
-		}
+	if line := wireLine(svc); line != "" {
+		fmt.Println(line)
+	}
+	st := svc.State()
+	if err := svc.Close(); err != nil {
+		fail("close service: %v", err)
+	}
+	if cfg.dataDir != "" || tot.WALRecords > 0 {
 		fmt.Printf("wal: %d records, %d checkpoints, snapshot epoch %d\n",
 			tot.WALRecords, tot.Checkpoints, tot.SnapshotEpoch)
+	}
+	if cfg.dataDir != "" || len(cfg.connect) > 0 {
 		fmt.Printf("state: epoch %d, n %d, m %d, crc %08x\n",
 			st.Epoch, st.NumVertices, st.NumEdges, st.Checksum)
-	} else {
-		svc.Close()
 	}
 }
 

@@ -24,6 +24,7 @@ package hcpath
 import (
 	"context"
 	"fmt"
+	"net"
 	"runtime"
 	"strconv"
 	"strings"
@@ -576,6 +577,56 @@ var ErrServiceClosed = service.ErrClosed
 // with errors.Is — the error is wrapped with context.
 var ErrOverloaded = service.ErrOverloaded
 
+// Backoff is the bounded retry policy for callers shed with
+// ErrOverloaded — exponential with a per-attempt ceiling, equal-jittered
+// so synchronized clients desynchronize, and bounded in total so a
+// retry loop gives up loudly instead of spinning forever against a
+// service that is not recovering. The zero value retries from 1ms up to
+// 64ms per attempt for at most 2s total. The wire client's dialer uses
+// the same policy (see ConnectService).
+//
+//	retry := hcpath.Backoff{}.Start()
+//	for {
+//		_, _, err := svc.Query(ctx, q)
+//		if errors.Is(err, hcpath.ErrOverloaded) {
+//			var oe *hcpath.OverloadedError // retry-after hint, wire only
+//			hint := time.Duration(0)
+//			if errors.As(err, &oe) {
+//				hint = oe.RetryAfter
+//			}
+//			if err := retry.Sleep(ctx, hint); err != nil {
+//				return err // budget exhausted (ErrBackoffExhausted) or ctx
+//			}
+//			continue
+//		}
+//		return err
+//	}
+type Backoff = shard.Backoff
+
+// BackoffSleeper tracks one retry loop's position in its Backoff
+// schedule; obtain one from Backoff.Start, one per loop.
+type BackoffSleeper = shard.Sleeper
+
+// ErrBackoffExhausted marks a retry loop that gave up: the Backoff's
+// Total sleep budget was spent and the operation still sheds.
+var ErrBackoffExhausted = shard.ErrBackoffExhausted
+
+// OverloadedError is the form ErrOverloaded takes when a remote worker
+// sheds a query over the wire (ConnectService): it carries the server's
+// retry-after hint for the caller's Backoff. errors.Is(err,
+// ErrOverloaded) matches it; errors.As extracts the hint.
+type OverloadedError = shard.OverloadedError
+
+// ErrWorkerDown marks a query or update on a ConnectService deployment
+// that failed because a worker's connection is gone — refused, dropped
+// mid-request, or corrupt. In-flight calls fail with it immediately
+// instead of hanging on the dead socket. Test with errors.Is.
+var ErrWorkerDown = shard.ErrWorkerDown
+
+// WorkerDownError wraps ErrWorkerDown with which worker (address and
+// shard index) and why; extract with errors.As.
+type WorkerDownError = shard.WorkerDownError
+
 // ServiceOptions tunes a Service. The zero value batches up to 64
 // queries per 2ms window and answers them with BatchEnum+ parallelised
 // over sharing groups with GOMAXPROCS workers.
@@ -673,10 +724,12 @@ type ServiceOptions struct {
 	// runs a scatter-gather join: each owner enumerates its half of the
 	// bidirectional search and the coordinator splices the halves at the
 	// boundary vertices. Results are identical to the unsharded service.
-	// Updates fan out to every worker atomically per epoch. Not yet
-	// compatible with DataDir (sharded durability rides on the wire
-	// protocol follow-up; see docs/ARCHITECTURE.md). Zero or one means
-	// the ordinary single-process service.
+	// Updates fan out to every worker atomically per epoch. Combined
+	// with DataDir (through OpenService), worker i owns the directory
+	// DataDir/shard-i and a warm restart reopens every worker from its
+	// own WAL and checkpoints. For a multi-process deployment over the
+	// same protocol, see NewShardServer and ConnectService. Zero or one
+	// means the ordinary single-process service.
 	Shards int
 	// MaxCrossShard bounds the cross-shard scatter-gather joins running
 	// concurrently when Shards > 1; excess cross-shard queries are shed
@@ -794,25 +847,27 @@ func NewService(g *Graph, opts *ServiceOptions) *Service {
 // directory (the on-disk state wins) and may be nil to require
 // existing state or start empty. With an empty DataDir it behaves
 // exactly like NewService (g must be non-nil).
+//
+// Combined with Shards > 1, worker i owns DataDir/shard-i (its own WAL
+// and checkpoints); a warm restart reopens every worker from its
+// directory and refuses the deployment if the replicas diverged.
 func OpenService(g *Graph, opts *ServiceOptions) (*Service, error) {
 	var o ServiceOptions
 	if opts != nil {
 		o = *opts
-	}
-	if o.Shards > 1 {
-		if o.DataDir != "" {
-			return nil, fmt.Errorf("hcpath: Shards > 1 with DataDir is not supported yet — sharded durability lands with the wire protocol (see ROADMAP.md)")
-		}
-		if g == nil {
-			return nil, fmt.Errorf("hcpath: OpenService needs a graph or a DataDir")
-		}
-		return NewService(g, &o), nil
 	}
 	var ig, igr *graph.Graph
 	if g != nil {
 		ig, igr = g.g, g.gr
 	} else if o.DataDir == "" {
 		return nil, fmt.Errorf("hcpath: OpenService needs a graph or a DataDir")
+	}
+	if o.Shards > 1 {
+		coord, err := shard.Open(ig, igr, o.config())
+		if err != nil {
+			return nil, err
+		}
+		return &Service{svc: coord, coord: coord, maxHops: o.maxHops()}, nil
 	}
 	svc, err := service.Open(ig, igr, o.config())
 	if err != nil {
@@ -955,6 +1010,113 @@ func (s *Service) Sharding() ShardingStats {
 	}
 	return s.coord.Routing()
 }
+
+// WireStats is one remote worker connection's transport counters:
+// request frames sent and socket flushes. RPCs/Flushes is the write
+// coalescing factor — how many concurrent requests shared one
+// round-trip on average.
+type WireStats = shard.WireStats
+
+// Wire returns per-worker transport counters of a service built by
+// ConnectService, in shard order; nil for any in-process deployment.
+func (s *Service) Wire() []WireStats {
+	if s.coord == nil {
+		return nil
+	}
+	return s.coord.Wire()
+}
+
+// ConnectService builds a Service over remote shard workers, one
+// address per shard, address i serving shard i of len(addrs). Each
+// worker is a NewShardServer process (cmd/hcpath -serve); the returned
+// Service runs the same coordinator as the in-process sharded
+// deployment — identical routing, scatter-gather protocol, and results
+// — with the worker RPCs carried by the package's length-prefixed,
+// CRC-framed TCP protocol. Connection attempts retry under a bounded
+// backoff while workers start; the handshake verifies protocol version
+// and each worker's exact shard identity, and the workers must agree
+// on one store.State before any traffic is accepted.
+//
+// opts configures the coordinator side: MaxCrossShard admission,
+// QueryTimeout and Limit of cross-shard joins, MaxHops validation.
+// Batching, admission, durability, and cache options of each worker
+// are fixed by its own process; Shards and DataDir here are ignored.
+// Closing the Service drops the connections — worker processes keep
+// serving.
+func ConnectService(ctx context.Context, addrs []string, opts *ServiceOptions) (*Service, error) {
+	var o ServiceOptions
+	if opts != nil {
+		o = *opts
+	}
+	o.Shards = len(addrs)
+	o.DataDir = ""
+	coord, err := shard.Connect(ctx, addrs, o.config(), shard.ConnectOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{svc: coord, coord: coord, maxHops: o.maxHops()}, nil
+}
+
+// ShardServer runs one shard worker of a multi-process sharded
+// deployment: a full micro-batching service over its replica of the
+// graph, answering the coordinator's wire RPCs (see ConnectService).
+// Start one per process with cmd/hcpath -serve, or embed it directly.
+type ShardServer struct {
+	srv *shard.Server
+}
+
+// NewShardServer builds worker shardIdx of a deployment of shards
+// workers over g. The worker's service runs opts with the worker
+// invariants applied: never itself sharded, and compacting
+// synchronously so every replica steps through the identical epoch
+// sequence. opts.DataDir, when set, is this worker's own durable
+// directory (give each worker process its own — the in-process
+// deployment's DataDir/shard-i layout, spread across machines); an
+// existing directory warm-restarts the worker, and g may then be nil.
+func NewShardServer(g *Graph, opts *ServiceOptions, shardIdx, shards int) (*ShardServer, error) {
+	if shards < 1 || shardIdx < 0 || shardIdx >= shards {
+		return nil, fmt.Errorf("hcpath: shard index %d out of range for %d shards", shardIdx, shards)
+	}
+	var o ServiceOptions
+	if opts != nil {
+		o = *opts
+	}
+	var ig, igr *graph.Graph
+	if g != nil {
+		ig, igr = g.g, g.gr
+	} else if o.DataDir == "" {
+		return nil, fmt.Errorf("hcpath: NewShardServer needs a graph or a DataDir")
+	}
+	cfg := o.config()
+	cfg.Shards = 0
+	cfg.SyncCompact = true
+	svc, err := service.Open(ig, igr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardServer{srv: shard.NewServer(svc, shardIdx, shards, shard.ServerOptions{})}, nil
+}
+
+// Serve accepts coordinator connections on ln until Close; it returns
+// nil after Close, or the listener's error. Multiple coordinators may
+// be connected at once.
+func (s *ShardServer) Serve(ln net.Listener) error { return s.srv.Serve(ln) }
+
+// Close stops accepting, drops every coordinator connection, and
+// closes the worker's service — flushing its durable state when the
+// worker owns a DataDir. Idempotent.
+func (s *ShardServer) Close() error { return s.srv.Close() }
+
+// Totals returns the worker service's own lifetime counters — the
+// per-shard view the coordinator's ShardTotals reads over the wire.
+func (s *ShardServer) Totals() ServiceTotals { return s.srv.Totals() }
+
+// State identifies the worker's current graph snapshot, for comparing
+// replicas across processes.
+func (s *ShardServer) State() StoreState { return s.srv.State() }
+
+// Epoch returns the worker's current epoch.
+func (s *ShardServer) Epoch() uint64 { return s.srv.Epoch() }
 
 // Checkpoint forces a durable snapshot of the current graph epoch to
 // the service's DataDir, so a restart replays a minimal WAL tail. It

@@ -98,7 +98,9 @@ func directiveChecks(pass *analysis.Pass, fd *ast.FuncDecl) map[string]*check {
 			pass.Reportf(cm.Pos(), "//hcpath:%s %s: no such type in %s", directive, fields[0], pass.Pkg.Name())
 			continue
 		}
-		named, ok := tn.Type().(*types.Named)
+		// Unalias so a directive can name a package-local alias of a
+		// struct declared elsewhere (service.PlanStats is one).
+		named, ok := types.Unalias(tn.Type()).(*types.Named)
 		if !ok || !isStruct(named) {
 			pass.Reportf(cm.Pos(), "//hcpath:%s %s: not a struct type", directive, fields[0])
 			continue
@@ -157,7 +159,7 @@ func verify(pass *analysis.Pass, fd *ast.FuncDecl, c *check) {
 			if sel == nil || sel.Kind() != types.FieldVal {
 				return true
 			}
-			if recv, ok := analysis.Deref(sel.Recv()).(*types.Named); ok && recv.Obj() == c.typ.Obj() {
+			if recv, ok := types.Unalias(analysis.Deref(sel.Recv())).(*types.Named); ok && recv.Obj() == c.typ.Obj() {
 				touched[n.Sel.Name] = true
 			}
 		case *ast.CompositeLit:
@@ -165,7 +167,7 @@ func verify(pass *analysis.Pass, fd *ast.FuncDecl, c *check) {
 			if !ok {
 				return true
 			}
-			named, ok := analysis.Deref(tv.Type).(*types.Named)
+			named, ok := types.Unalias(analysis.Deref(tv.Type)).(*types.Named)
 			if !ok || named.Obj() != c.typ.Obj() {
 				return true
 			}

@@ -1,0 +1,290 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+	"repro/internal/timing"
+	"repro/internal/wirefmt"
+)
+
+// This file defines the portable encodings of the service types that
+// cross the sharded deployment's wire — Query in, Reply out, Totals
+// for Stats — so a remote worker process and the coordinator exchange
+// exactly the structures the in-process deployment passes by pointer.
+// Layout is fixed-width little-endian (see wirefmt); the framing,
+// integrity, and versioning live in internal/shard. The encoder/decoder
+// pairs carry statsmerge exhaustiveness directives, so adding a field
+// to BatchStats or Totals without extending its wire encoding fails
+// `hcpathvet` rather than silently zeroing the field cluster-wide.
+
+// Reply.Err crosses the wire as a one-byte code: the error values the
+// service contract names get stable codes, anything else rides as its
+// message.
+const (
+	wireErrNone = iota
+	wireErrLimit
+	wireErrDeadline
+	wireErrCanceled
+	wireErrOther
+)
+
+// AppendQueryWire appends q's wire encoding to dst.
+func AppendQueryWire(dst []byte, q query.Query) []byte {
+	dst = wirefmt.AppendI64(dst, int64(q.ID))
+	dst = wirefmt.AppendU32(dst, q.S)
+	dst = wirefmt.AppendU32(dst, q.T)
+	dst = wirefmt.AppendU8(dst, q.K)
+	return dst
+}
+
+// ReadQueryWire reads one query from r.
+func ReadQueryWire(r *wirefmt.Reader) query.Query {
+	return query.Query{
+		ID: int(r.I64()),
+		S:  r.U32(),
+		T:  r.U32(),
+		K:  r.U8(),
+	}
+}
+
+func appendErrWire(dst []byte, err error) []byte {
+	switch {
+	case err == nil:
+		return wirefmt.AppendU8(dst, wireErrNone)
+	case errors.Is(err, query.ErrLimitReached):
+		return wirefmt.AppendU8(dst, wireErrLimit)
+	case errors.Is(err, context.DeadlineExceeded):
+		return wirefmt.AppendU8(dst, wireErrDeadline)
+	case errors.Is(err, context.Canceled):
+		return wirefmt.AppendU8(dst, wireErrCanceled)
+	default:
+		dst = wirefmt.AppendU8(dst, wireErrOther)
+		return wirefmt.AppendString(dst, err.Error())
+	}
+}
+
+func readErrWire(r *wirefmt.Reader) error {
+	switch r.U8() {
+	case wireErrNone:
+		return nil
+	case wireErrLimit:
+		return query.ErrLimitReached
+	case wireErrDeadline:
+		return context.DeadlineExceeded
+	case wireErrCanceled:
+		return context.Canceled
+	default:
+		return errors.New(r.String())
+	}
+}
+
+// appendPlanWire lays out the planner's per-engine decomposition.
+//
+//hcpath:mergefields PlanStats
+func appendPlanWire(dst []byte, p PlanStats) []byte {
+	dst = wirefmt.AppendI64(dst, p.SingleGroups)
+	dst = wirefmt.AppendI64(dst, p.SharedGroups)
+	dst = wirefmt.AppendI64(dst, p.SpliceGroups)
+	dst = wirefmt.AppendI64(dst, p.SingleNanos)
+	dst = wirefmt.AppendI64(dst, p.SharedNanos)
+	dst = wirefmt.AppendI64(dst, p.SpliceNanos)
+	return dst
+}
+
+//hcpath:mergefields PlanStats
+func readPlanWire(r *wirefmt.Reader) PlanStats {
+	var p PlanStats
+	p.SingleGroups = r.I64()
+	p.SharedGroups = r.I64()
+	p.SpliceGroups = r.I64()
+	p.SingleNanos = r.I64()
+	p.SharedNanos = r.I64()
+	p.SpliceNanos = r.I64()
+	return p
+}
+
+// The timing breakdown crosses the wire as its four phase durations in
+// phase order; the phase set is fixed by Fig. 9, so the layout is too.
+var wirePhases = [...]timing.Phase{
+	timing.BuildIndex, timing.ClusterQuery, timing.IdentifySubquery, timing.Enumeration,
+}
+
+func appendPhasesWire(dst []byte, b timing.Breakdown) []byte {
+	for _, ph := range wirePhases {
+		dst = wirefmt.AppendI64(dst, int64(b.Get(ph)))
+	}
+	return dst
+}
+
+func readPhasesWire(r *wirefmt.Reader) timing.Breakdown {
+	var b timing.Breakdown
+	for _, ph := range wirePhases {
+		b.Add(ph, time.Duration(r.I64()))
+	}
+	return b
+}
+
+// AppendBatchStatsWire appends bs's wire encoding to dst.
+//
+//hcpath:mergefields BatchStats
+func AppendBatchStatsWire(dst []byte, bs BatchStats) []byte {
+	dst = wirefmt.AppendI64(dst, int64(bs.Queries))
+	dst = wirefmt.AppendI64(dst, int64(bs.Groups))
+	dst = wirefmt.AppendI64(dst, int64(bs.SharedQueries))
+	dst = wirefmt.AppendI64(dst, bs.SplicedPaths)
+	dst = wirefmt.AppendI64(dst, bs.Paths)
+	dst = wirefmt.AppendI64(dst, bs.WaitNanos)
+	dst = wirefmt.AppendI64(dst, bs.EnumerateNanos)
+	dst = wirefmt.AppendI64(dst, int64(bs.IndexHits))
+	dst = wirefmt.AppendI64(dst, int64(bs.IndexMisses))
+	dst = wirefmt.AppendI64(dst, int64(bs.Truncated))
+	dst = appendPlanWire(dst, bs.Plan)
+	dst = appendPhasesWire(dst, bs.Phases)
+	return dst
+}
+
+// ReadBatchStatsWire reads one BatchStats from r.
+//
+//hcpath:mergefields BatchStats
+func ReadBatchStatsWire(r *wirefmt.Reader) BatchStats {
+	var bs BatchStats
+	bs.Queries = int(r.I64())
+	bs.Groups = int(r.I64())
+	bs.SharedQueries = int(r.I64())
+	bs.SplicedPaths = r.I64()
+	bs.Paths = r.I64()
+	bs.WaitNanos = r.I64()
+	bs.EnumerateNanos = r.I64()
+	bs.IndexHits = int(r.I64())
+	bs.IndexMisses = int(r.I64())
+	bs.Truncated = int(r.I64())
+	bs.Plan = readPlanWire(r)
+	bs.Phases = readPhasesWire(r)
+	return bs
+}
+
+// AppendReplyWire appends rep's wire encoding to dst: the scalar
+// results, the error code, the batch stats, and — only when the caller
+// collected — the result paths as a u32 path count, then each path as
+// a u16 hop count plus its vertices (path length is bounded by the
+// uint8 hop constraint, so u16 cannot truncate).
+func AppendReplyWire(dst []byte, rep *Reply) []byte {
+	dst = wirefmt.AppendI64(dst, rep.Count)
+	dst = wirefmt.AppendBool(dst, rep.Truncated)
+	dst = appendErrWire(dst, rep.Err)
+	dst = AppendBatchStatsWire(dst, rep.Batch)
+	dst = wirefmt.AppendU32(dst, uint32(len(rep.Paths)))
+	for _, p := range rep.Paths {
+		dst = wirefmt.AppendU16(dst, uint16(len(p)))
+		for _, v := range p {
+			dst = wirefmt.AppendU32(dst, v)
+		}
+	}
+	return dst
+}
+
+// ReadReplyWire reads one Reply from r. Path counts are bounds-checked
+// against the remaining payload before allocation, so a corrupt frame
+// cannot force a huge allocation; the caller still checks r.Err (or
+// r.Close) before trusting the result.
+func ReadReplyWire(r *wirefmt.Reader) *Reply {
+	rep := &Reply{}
+	rep.Count = r.I64()
+	rep.Truncated = r.Bool()
+	rep.Err = readErrWire(r)
+	rep.Batch = ReadBatchStatsWire(r)
+	nPaths := int(r.U32())
+	if r.Err() != nil || nPaths == 0 {
+		return rep
+	}
+	// Each path costs at least 2 bytes on the wire; a count claiming
+	// more paths than bytes remain is corrupt.
+	if nPaths > r.Remaining()/2 {
+		r.Fail(fmt.Errorf("reply claims %d paths in %d bytes: %w", nPaths, r.Remaining(), wirefmt.ErrShort))
+		return rep
+	}
+	rep.Paths = make([][]graph.VertexID, 0, nPaths)
+	for i := 0; i < nPaths; i++ {
+		hops := int(r.U16())
+		if hops > r.Remaining()/4 {
+			r.Fail(fmt.Errorf("path claims %d hops in %d bytes: %w", hops, r.Remaining(), wirefmt.ErrShort))
+			return rep
+		}
+		p := make([]graph.VertexID, hops)
+		for j := range p {
+			p[j] = r.U32()
+		}
+		rep.Paths = append(rep.Paths, p)
+	}
+	return rep
+}
+
+// AppendTotalsWire appends t's wire encoding to dst.
+//
+//hcpath:mergefields Totals
+func AppendTotalsWire(dst []byte, t Totals) []byte {
+	dst = wirefmt.AppendI64(dst, t.Batches)
+	dst = wirefmt.AppendI64(dst, t.Queries)
+	dst = wirefmt.AppendI64(dst, int64(t.LargestBatch))
+	dst = wirefmt.AppendI64(dst, t.Groups)
+	dst = wirefmt.AppendI64(dst, t.SharedQueries)
+	dst = wirefmt.AppendI64(dst, t.SplicedPaths)
+	dst = wirefmt.AppendI64(dst, t.Paths)
+	dst = wirefmt.AppendI64(dst, t.WaitNanos)
+	dst = wirefmt.AppendI64(dst, t.EnumerateNanos)
+	dst = wirefmt.AppendI64(dst, t.IndexHits)
+	dst = wirefmt.AppendI64(dst, t.IndexMisses)
+	dst = wirefmt.AppendI64(dst, t.IndexWidened)
+	dst = wirefmt.AppendI64(dst, t.IndexEvictions)
+	dst = wirefmt.AppendI64(dst, t.IndexCacheBytes)
+	dst = wirefmt.AppendI64(dst, t.Truncated)
+	dst = wirefmt.AppendI64(dst, t.DeadlineBatches)
+	dst = wirefmt.AppendU64(dst, t.Epoch)
+	dst = wirefmt.AppendI64(dst, t.UpdatesApplied)
+	dst = wirefmt.AppendI64(dst, t.Compactions)
+	dst = wirefmt.AppendI64(dst, int64(t.DeltaEdges))
+	dst = wirefmt.AppendI64(dst, t.WALRecords)
+	dst = wirefmt.AppendI64(dst, t.Checkpoints)
+	dst = wirefmt.AppendU64(dst, t.SnapshotEpoch)
+	dst = appendPlanWire(dst, t.Plan)
+	dst = wirefmt.AppendI64(dst, t.Shed)
+	return dst
+}
+
+// ReadTotalsWire reads one Totals from r.
+//
+//hcpath:mergefields Totals
+func ReadTotalsWire(r *wirefmt.Reader) Totals {
+	var t Totals
+	t.Batches = r.I64()
+	t.Queries = r.I64()
+	t.LargestBatch = int(r.I64())
+	t.Groups = r.I64()
+	t.SharedQueries = r.I64()
+	t.SplicedPaths = r.I64()
+	t.Paths = r.I64()
+	t.WaitNanos = r.I64()
+	t.EnumerateNanos = r.I64()
+	t.IndexHits = r.I64()
+	t.IndexMisses = r.I64()
+	t.IndexWidened = r.I64()
+	t.IndexEvictions = r.I64()
+	t.IndexCacheBytes = r.I64()
+	t.Truncated = r.I64()
+	t.DeadlineBatches = r.I64()
+	t.Epoch = r.U64()
+	t.UpdatesApplied = r.I64()
+	t.Compactions = r.I64()
+	t.DeltaEdges = int(r.I64())
+	t.WALRecords = r.I64()
+	t.Checkpoints = r.I64()
+	t.SnapshotEpoch = r.U64()
+	t.Plan = readPlanWire(r)
+	t.Shed = r.I64()
+	return t
+}

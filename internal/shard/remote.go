@@ -1,0 +1,495 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/hcindex"
+	"repro/internal/msbfs"
+	"repro/internal/pathjoin"
+	"repro/internal/query"
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/wirefmt"
+)
+
+// ConnectOptions tunes Connect.
+type ConnectOptions struct {
+	// DialBackoff paces connection attempts per worker; the zero value
+	// means Base 25ms, Cap 500ms, Total 5s — a worker that has not
+	// come up within the budget fails the Connect loudly.
+	DialBackoff Backoff
+	// NoBatch disables the client's write coalescing: every request
+	// frame is flushed to the socket individually. It exists for the
+	// benchmark that measures what coalescing buys
+	// (BenchmarkWireThroughput) and for debugging; production callers
+	// leave it off.
+	NoBatch bool
+}
+
+func (o ConnectOptions) dialBackoff() Backoff {
+	b := o.DialBackoff
+	if b.Base == 0 {
+		b.Base = 25 * time.Millisecond
+	}
+	if b.Cap == 0 {
+		b.Cap = 500 * time.Millisecond
+	}
+	if b.Total == 0 {
+		b.Total = 5 * time.Second
+	}
+	return b
+}
+
+// Connect builds a Coordinator over remote workers, one per address,
+// address i serving shard i of len(addrs): it dials each worker (with
+// the dial Backoff absorbing startup races), performs the hello
+// handshake that verifies protocol version and shard identity, and
+// checks all replicas report one identical store.State before
+// accepting traffic. The cfg governs coordinator-side behaviour —
+// MaxCrossShard admission, QueryTimeout and Limit of cross-shard joins
+// — while each worker process keeps the batching/admission config it
+// was started with.
+func Connect(ctx context.Context, addrs []string, cfg service.Config, opts ConnectOptions) (*Coordinator, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("shard: Connect needs at least one worker address")
+	}
+	c := newCoordinator(cfg, len(addrs))
+	for i, addr := range addrs {
+		w, err := dialWorker(ctx, addr, i, len(addrs), opts)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.workers[i] = w
+	}
+	if err := verifyAligned(c.workers); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// WireStats is one remote worker connection's transport counters.
+type WireStats struct {
+	Addr string
+	// RPCs counts request frames sent; Flushes counts socket flushes.
+	// RPCs/Flushes is the coalescing factor: how many concurrent
+	// requests shared one round-trip on average.
+	RPCs, Flushes int64
+}
+
+// Wire returns per-worker transport counters, in shard order, or nil
+// for an in-process deployment.
+func (c *Coordinator) Wire() []WireStats {
+	var out []WireStats
+	for _, w := range c.workers {
+		if rw, ok := w.(*remoteWorker); ok {
+			out = append(out, WireStats{Addr: rw.addr, RPCs: rw.rpcs.Load(), Flushes: rw.flushes.Load()})
+		}
+	}
+	return out
+}
+
+// controlTimeout bounds the stats-plane RPCs (Stats, State, Epoch at
+// connect) that have no caller-supplied context.
+const controlTimeout = 10 * time.Second
+
+// errCoordinatorClosed marks a connection torn down by our own Close,
+// as opposed to a worker failure.
+var errCoordinatorClosed = errors.New("connection closed by coordinator")
+
+// remoteWorker is the client side of one worker connection. Requests
+// from any number of coordinator goroutines multiplex over the single
+// connection: each call registers a reply channel under its request
+// id, queues its frame to the send loop — which coalesces every frame
+// queued at flush time into one write, the client half of the
+// level-batching — and waits. The receive loop demultiplexes responses
+// by id. When the connection dies, every pending and future call fails
+// immediately with a WorkerDownError: a killed worker mid-scatter is a
+// typed error, never a hang.
+type remoteWorker struct {
+	addr     string
+	shardIdx int
+	conn     net.Conn
+	noBatch  bool
+
+	sendQ chan []byte
+	stop  chan struct{} // closed by markDown
+
+	mu        sync.Mutex
+	pending   map[uint64]chan callResult
+	down      bool
+	downCause error
+
+	nextID  atomic.Uint64
+	epoch   atomic.Uint64
+	nverts  atomic.Int64
+	rpcs    atomic.Int64
+	flushes atomic.Int64
+}
+
+type callResult struct {
+	body []byte
+	err  error
+}
+
+// dialWorker establishes one worker connection: dial under the
+// backoff, handshake synchronously, then start the connection's send
+// and receive loops.
+func dialWorker(ctx context.Context, addr string, shardIdx, shards int, opts ConnectOptions) (*remoteWorker, error) {
+	var d net.Dialer
+	sleeper := opts.dialBackoff().Start()
+	var conn net.Conn
+	for {
+		var err error
+		conn, err = d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			break
+		}
+		if serr := sleeper.Sleep(ctx, 0); serr != nil {
+			return nil, fmt.Errorf("shard: dialing worker %d at %s: %v (gave up: %w)", shardIdx, addr, err, serr)
+		}
+	}
+
+	hello := wirefmt.AppendU32(nil, wireMagic)
+	hello = wirefmt.AppendU16(hello, uint16(shardIdx))
+	hello = wirefmt.AppendU16(hello, uint16(shards))
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline)
+	} else {
+		conn.SetDeadline(time.Now().Add(controlTimeout))
+	}
+	if _, err := conn.Write(appendFrame(nil, mtHello, 1, hello)); err != nil {
+		conn.Close()
+		return nil, &WorkerDownError{Addr: addr, Shard: shardIdx, Cause: err}
+	}
+	br := bufio.NewReader(conn)
+	typ, _, body, err := readFrame(br)
+	if err != nil {
+		conn.Close()
+		return nil, &WorkerDownError{Addr: addr, Shard: shardIdx, Cause: err}
+	}
+	if typ == mtErr {
+		conn.Close()
+		return nil, fmt.Errorf("shard: worker %d at %s refused the handshake: %w",
+			shardIdx, addr, readWireError(wirefmt.NewReader(body)))
+	}
+	r := wirefmt.NewReader(body)
+	epoch := r.U64()
+	n := r.U32()
+	st := readState(r)
+	if typ != mtResp || r.Close() != nil {
+		conn.Close()
+		return nil, fmt.Errorf("shard: worker %d at %s: malformed handshake response", shardIdx, addr)
+	}
+	_ = st // alignment across workers is checked by Connect via State()
+	conn.SetDeadline(time.Time{})
+
+	w := &remoteWorker{
+		addr:     addr,
+		shardIdx: shardIdx,
+		conn:     conn,
+		noBatch:  opts.NoBatch,
+		sendQ:    make(chan []byte, 256),
+		stop:     make(chan struct{}),
+		pending:  make(map[uint64]chan callResult),
+	}
+	w.nextID.Store(1) // id 1 was the hello
+	w.epoch.Store(epoch)
+	w.nverts.Store(int64(n))
+	go w.sendLoop()
+	go w.recvLoop(br)
+	return w, nil
+}
+
+// markDown fails the connection once: every pending call (and every
+// later one) completes with a WorkerDownError wrapping cause.
+func (w *remoteWorker) markDown(cause error) {
+	w.mu.Lock()
+	if w.down {
+		w.mu.Unlock()
+		return
+	}
+	w.down = true
+	w.downCause = cause
+	pend := w.pending
+	w.pending = nil
+	w.mu.Unlock()
+	close(w.stop)
+	w.conn.Close()
+	err := w.downError()
+	for _, ch := range pend {
+		ch <- callResult{err: err} // buffered: never blocks
+	}
+}
+
+func (w *remoteWorker) downError() error {
+	return &WorkerDownError{Addr: w.addr, Shard: w.shardIdx, Cause: w.downCause}
+}
+
+func (w *remoteWorker) sendLoop() {
+	bw := bufio.NewWriter(w.conn)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case frame := <-w.sendQ:
+			if _, err := bw.Write(frame); err != nil {
+				w.markDown(err)
+				return
+			}
+			if !w.noBatch {
+			drain:
+				for {
+					select {
+					case frame = <-w.sendQ:
+						if _, err := bw.Write(frame); err != nil {
+							w.markDown(err)
+							return
+						}
+					default:
+						break drain
+					}
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				w.markDown(err)
+				return
+			}
+			w.flushes.Add(1)
+		}
+	}
+}
+
+func (w *remoteWorker) recvLoop(br *bufio.Reader) {
+	for {
+		typ, id, body, err := readFrame(br)
+		if err != nil {
+			w.markDown(err)
+			return
+		}
+		var res callResult
+		switch typ {
+		case mtResp:
+			res = callResult{body: body}
+		case mtErr:
+			res = callResult{err: readWireError(wirefmt.NewReader(body))}
+		default:
+			w.markDown(fmt.Errorf("unexpected frame type %#x: %w", typ, ErrFrameCorrupt))
+			return
+		}
+		w.mu.Lock()
+		ch, ok := w.pending[id]
+		delete(w.pending, id)
+		w.mu.Unlock()
+		if ok {
+			ch <- res // buffered: never blocks
+		}
+	}
+}
+
+// call runs one RPC: register, queue, wait. ctx abandons the wait (the
+// late response is discarded on arrival); a downed connection fails
+// immediately.
+func (w *remoteWorker) call(ctx context.Context, typ byte, body []byte) ([]byte, error) {
+	id := w.nextID.Add(1)
+	ch := make(chan callResult, 1)
+	w.mu.Lock()
+	if w.down {
+		w.mu.Unlock()
+		return nil, w.downError()
+	}
+	w.pending[id] = ch
+	w.mu.Unlock()
+	w.rpcs.Add(1)
+
+	frame := appendFrame(nil, typ, id, body)
+	select {
+	case w.sendQ <- frame:
+	case <-w.stop:
+		w.unregister(id)
+		return nil, w.downError()
+	case <-ctx.Done():
+		w.unregister(id)
+		return nil, ctx.Err()
+	}
+
+	select {
+	case res := <-ch:
+		return res.body, res.err
+	case <-ctx.Done():
+		w.unregister(id)
+		return nil, ctx.Err()
+	}
+}
+
+func (w *remoteWorker) unregister(id uint64) {
+	w.mu.Lock()
+	delete(w.pending, id)
+	w.mu.Unlock()
+}
+
+// controlCall is call with the stats-plane timeout, for RPCs whose
+// worker-interface signature carries no context.
+func (w *remoteWorker) controlCall(typ byte, body []byte) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), controlTimeout)
+	defer cancel()
+	return w.call(ctx, typ, body)
+}
+
+func (w *remoteWorker) Submit(ctx context.Context, caller string, q query.Query, collect bool) (*service.Reply, error) {
+	body := wirefmt.AppendString(nil, caller)
+	body = wirefmt.AppendBool(body, collect)
+	body = service.AppendQueryWire(body, q)
+	resp, err := w.call(ctx, mtSubmit, body)
+	if err != nil {
+		return nil, err
+	}
+	r := wirefmt.NewReader(resp)
+	rep := service.ReadReplyWire(r)
+	if err := r.Close(); err != nil {
+		return nil, &WorkerDownError{Addr: w.addr, Shard: w.shardIdx, Cause: err}
+	}
+	return rep, nil
+}
+
+func (w *remoteWorker) ApplyUpdates(adds, dels []graph.Edge) (uint64, error) {
+	body := appendEdges(nil, adds)
+	body = appendEdges(body, dels)
+	resp, err := w.controlCall(mtApplyUpdates, body)
+	if err != nil {
+		return w.Epoch(), err
+	}
+	r := wirefmt.NewReader(resp)
+	epoch := r.U64()
+	n := r.U32()
+	if err := r.Close(); err != nil {
+		return w.Epoch(), &WorkerDownError{Addr: w.addr, Shard: w.shardIdx, Cause: err}
+	}
+	w.epoch.Store(epoch)
+	w.nverts.Store(int64(n))
+	return epoch, nil
+}
+
+// Epoch returns the cached epoch: the value of the last handshake or
+// update fan-out. Under the coordinator's aligned-epoch invariant the
+// cache is exact — epochs only move inside ApplyUpdates, which updates
+// it.
+func (w *remoteWorker) Epoch() uint64 { return w.epoch.Load() }
+
+func (w *remoteWorker) NumVertices() int { return int(w.nverts.Load()) }
+
+// Stats returns the worker's Totals, or — matching the best a stats
+// plane can do against an unreachable process — zero Totals once the
+// connection is down.
+func (w *remoteWorker) Stats() service.Totals {
+	resp, err := w.controlCall(mtStats, nil)
+	if err != nil {
+		return service.Totals{}
+	}
+	r := wirefmt.NewReader(resp)
+	t := service.ReadTotalsWire(r)
+	if r.Close() != nil {
+		return service.Totals{}
+	}
+	return t
+}
+
+func (w *remoteWorker) State() store.State {
+	resp, err := w.controlCall(mtState, nil)
+	if err != nil {
+		return store.State{}
+	}
+	r := wirefmt.NewReader(resp)
+	st := readState(r)
+	if r.Close() != nil {
+		return store.State{}
+	}
+	return st
+}
+
+func (w *remoteWorker) Checkpoint() error {
+	_, err := w.controlCall(mtCheckpoint, nil)
+	return err
+}
+
+// Close tears the connection down. The worker process keeps serving —
+// other coordinators may be connected — so Close never propagates to
+// the remote service.
+func (w *remoteWorker) Close() error {
+	w.markDown(errCoordinatorClosed)
+	return nil
+}
+
+func dirByte(dir hcindex.Direction) uint8 {
+	if dir == hcindex.Forward {
+		return 0
+	}
+	return 1
+}
+
+func (w *remoteWorker) AcquireDist(ctx context.Context, epoch uint64, root graph.VertexID, k uint8, dir hcindex.Direction) (*distHandle, error) {
+	body := wirefmt.AppendU64(nil, epoch)
+	body = wirefmt.AppendU32(body, root)
+	body = wirefmt.AppendU8(body, k)
+	body = wirefmt.AppendU8(body, dirByte(dir))
+	resp, err := w.call(ctx, mtAcquireDist, body)
+	if err != nil {
+		return nil, err
+	}
+	r := wirefmt.NewReader(resp)
+	hits := int(r.I64())
+	misses := int(r.I64())
+	dist, derr := readDistMap(r, w.NumVertices())
+	if derr == nil {
+		derr = r.Close()
+	}
+	if derr != nil {
+		return nil, &WorkerDownError{Addr: w.addr, Shard: w.shardIdx, Cause: derr}
+	}
+	// The map's bytes were copied off the wire, so there is nothing to
+	// release; the worker released its cache handle after encoding.
+	return &distHandle{dist: dist, hits: hits, misses: misses}, nil
+}
+
+func (w *remoteWorker) HalfPaths(ctx context.Context, epoch uint64, dir hcindex.Direction, root graph.VertexID, budget, k uint8, other *msbfs.DistMap, deadline time.Time) (*pathjoin.Store, bool, error) {
+	// The deadline crosses the wire as remaining time, not an absolute
+	// instant, so worker clocks need not agree with the coordinator's.
+	var remaining time.Duration
+	if !deadline.IsZero() {
+		remaining = time.Until(deadline)
+		if remaining <= 0 {
+			// Already expired: the worker would only cancel immediately.
+			return pathjoin.NewStore(0, 0), true, nil
+		}
+	}
+	body := wirefmt.AppendU64(nil, epoch)
+	body = wirefmt.AppendU8(body, dirByte(dir))
+	body = wirefmt.AppendU32(body, root)
+	body = wirefmt.AppendU8(body, budget)
+	body = wirefmt.AppendU8(body, k)
+	body = wirefmt.AppendI64(body, int64(remaining))
+	body = appendDistMap(body, other, w.NumVertices())
+	resp, err := w.call(ctx, mtHalfPaths, body)
+	if err != nil {
+		return nil, false, err
+	}
+	r := wirefmt.NewReader(resp)
+	cancelled := r.Bool()
+	paths, derr := readStore(r)
+	if derr == nil {
+		derr = r.Close()
+	}
+	if derr != nil {
+		return nil, false, &WorkerDownError{Addr: w.addr, Shard: w.shardIdx, Cause: derr}
+	}
+	return paths, cancelled, nil
+}

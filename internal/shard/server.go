@@ -1,0 +1,398 @@
+package shard
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/store"
+	"repro/internal/wirefmt"
+)
+
+// Server speaks the worker side of the wire protocol: it owns one
+// shard's service.Service and answers the coordinator RPCs — Submit,
+// the AcquireDist/HalfPaths scatter legs, the update fan-out, and the
+// stats plane — over any number of coordinator connections. One
+// process runs one Server (cmd/hcpath -serve); the pairing Connect
+// builds a Coordinator over N of them.
+//
+// Every request frame is handled in its own goroutine, because Submit
+// deliberately blocks in the micro-batching pipeline while cache-hit
+// AcquireDists answer in microseconds; responses carry the request id
+// back, so they may interleave out of order on the shared connection.
+// Responses queue to a per-connection writer that coalesces everything
+// queued into one flush — the server half of the batching that turns N
+// concurrent scatter-gathers into one round-trip per level.
+type Server struct {
+	w          localWorker
+	shardIdx   int
+	shards     int
+	retryAfter time.Duration
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServerOptions tunes a Server.
+type ServerOptions struct {
+	// RetryAfter is the backpressure hint attached to ErrOverloaded
+	// responses: how long the server suggests a shedding client wait
+	// before retrying. Zero means 5ms.
+	RetryAfter time.Duration
+}
+
+// NewServer wraps svc as shard shardIdx of shards. The service must
+// run with the worker invariants (SyncCompact on, not itself sharded)
+// — use hcpath.NewShardServer or workerConfig to build it.
+func NewServer(svc *service.Service, shardIdx, shards int, opts ServerOptions) *Server {
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = 5 * time.Millisecond
+	}
+	return &Server{
+		w:          localWorker{svc: svc},
+		shardIdx:   shardIdx,
+		shards:     shards,
+		retryAfter: opts.RetryAfter,
+		conns:      make(map[net.Conn]struct{}),
+	}
+}
+
+// Serve accepts coordinator connections on ln until Close. It returns
+// nil after Close, or the listener's error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return service.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops accepting, drops every connection, and closes the
+// underlying service (flushing its durable state). Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return s.w.Close()
+}
+
+// Totals returns the worker service's lifetime counters — the local
+// view behind the coordinator's merged Stats.
+func (s *Server) Totals() service.Totals { return s.w.Stats() }
+
+// State identifies the worker's current graph snapshot.
+func (s *Server) State() store.State { return s.w.State() }
+
+// Epoch returns the worker's current epoch.
+func (s *Server) Epoch() uint64 { return s.w.Epoch() }
+
+// dropConn unregisters and closes one connection.
+func (s *Server) dropConn(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	conn.Close()
+}
+
+// serveConn runs one connection: handshake, then a read loop that
+// spawns a handler per request. A frame that cannot be trusted —
+// corrupt, torn, or protocol-violating — drops the connection; the
+// coordinator's pending calls over it fail as worker-down and its
+// Backoff owns reconnection policy.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+
+	out := make(chan []byte, 64)
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		s.writeLoop(conn, out, stop)
+	}()
+	// Deferred shutdown order (LIFO): handlers drain first, then stop
+	// closes, then the writer is joined.
+	defer writerWG.Wait()
+	defer close(stop)
+
+	br := bufio.NewReader(conn)
+	if !s.handshake(br, out, stop) {
+		return
+	}
+
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		typ, id, body, err := readFrame(br)
+		if err != nil {
+			// io.EOF: the coordinator hung up; anything else: a dead or
+			// corrupt stream. Either way the connection is done.
+			return
+		}
+		if typ == mtHello || typ >= mtResp {
+			return // protocol violation: drop the connection
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			send(out, stop, s.handle(typ, id, body))
+		}()
+	}
+}
+
+// send queues one response frame unless the connection is going down.
+func send(out chan []byte, stop chan struct{}, frame []byte) {
+	select {
+	case out <- frame:
+	case <-stop:
+	}
+}
+
+// writeLoop drains queued response frames into the connection,
+// coalescing everything already queued into one flush.
+func (s *Server) writeLoop(conn net.Conn, out chan []byte, stop chan struct{}) {
+	bw := bufio.NewWriter(conn)
+	for {
+		select {
+		case <-stop:
+			return
+		case frame := <-out:
+			if _, err := bw.Write(frame); err != nil {
+				s.sinkFrames(conn, out, stop)
+				return
+			}
+		drain:
+			for {
+				select {
+				case frame = <-out:
+					if _, err := bw.Write(frame); err != nil {
+						s.sinkFrames(conn, out, stop)
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if err := bw.Flush(); err != nil {
+				s.sinkFrames(conn, out, stop)
+				return
+			}
+		}
+	}
+}
+
+// sinkFrames keeps consuming queued responses after a write failure so
+// in-flight handlers never block on a dead connection's queue; it
+// returns once the connection's read side shuts the stream down.
+func (s *Server) sinkFrames(conn net.Conn, out chan []byte, stop chan struct{}) {
+	conn.Close()
+	for {
+		select {
+		case <-out:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// handshake requires the connection's first frame to be a well-formed
+// hello naming this worker's exact identity (shard index and count):
+// a coordinator wired to the wrong address fails loudly at connect
+// time instead of serving another shard's traffic.
+func (s *Server) handshake(br *bufio.Reader, out chan []byte, stop chan struct{}) bool {
+	typ, id, body, err := readFrame(br)
+	if err != nil || typ != mtHello {
+		return false
+	}
+	r := wirefmt.NewReader(body)
+	magic := r.U32()
+	idx := int(r.U16())
+	n := int(r.U16())
+	if err := r.Close(); err != nil || magic != wireMagic {
+		send(out, stop, errFrame(id, fmt.Errorf("shard: bad hello (protocol mismatch?)"), 0))
+		return false
+	}
+	if idx != s.shardIdx || n != s.shards {
+		send(out, stop, errFrame(id, fmt.Errorf("shard: this worker is shard %d/%d, coordinator expected %d/%d",
+			s.shardIdx, s.shards, idx, n), 0))
+		return false
+	}
+	resp := wirefmt.AppendU64(nil, s.w.Epoch())
+	resp = wirefmt.AppendU32(resp, uint32(s.w.NumVertices()))
+	resp = appendState(resp, s.w.State())
+	send(out, stop, appendFrame(nil, mtResp, id, resp))
+	return true
+}
+
+func errFrame(id uint64, err error, retryAfter time.Duration) []byte {
+	return appendFrame(nil, mtErr, id, appendWireError(nil, err, retryAfter))
+}
+
+// handle answers one request frame, returning the response frame.
+func (s *Server) handle(typ byte, id uint64, body []byte) []byte {
+	resp, err := s.dispatch(typ, wirefmt.NewReader(body))
+	if err != nil {
+		return errFrame(id, err, s.retryAfter)
+	}
+	return appendFrame(nil, mtResp, id, resp)
+}
+
+func (s *Server) dispatch(typ byte, r *wirefmt.Reader) ([]byte, error) {
+	switch typ {
+	case mtSubmit:
+		caller := r.String()
+		collect := r.Bool()
+		q := service.ReadQueryWire(r)
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		rep, err := s.w.Submit(context.Background(), caller, q, collect)
+		if err != nil {
+			return nil, err
+		}
+		return service.AppendReplyWire(nil, rep), nil
+
+	case mtAcquireDist:
+		epoch := r.U64()
+		root := r.U32()
+		k := r.U8()
+		dir := hcDirection(r.U8())
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		h, err := s.w.AcquireDist(context.Background(), epoch, root, k, dir)
+		if err != nil {
+			return nil, err
+		}
+		defer h.Release()
+		resp := wirefmt.AppendI64(nil, int64(h.hits))
+		resp = wirefmt.AppendI64(resp, int64(h.misses))
+		resp = appendDistMap(resp, h.dist, s.w.NumVertices())
+		return resp, nil
+
+	case mtHalfPaths:
+		epoch := r.U64()
+		dir := hcDirection(r.U8())
+		root := r.U32()
+		budget := r.U8()
+		k := r.U8()
+		remaining := time.Duration(r.I64())
+		other, err := readDistMap(r, s.w.NumVertices())
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		var deadline time.Time
+		if remaining != 0 {
+			deadline = time.Now().Add(remaining)
+		}
+		paths, cancelled, err := s.w.HalfPaths(context.Background(), epoch, dir, root, budget, k, other, deadline)
+		if err != nil {
+			return nil, err
+		}
+		resp := wirefmt.AppendBool(nil, cancelled)
+		resp = appendStore(resp, paths)
+		return resp, nil
+
+	case mtApplyUpdates:
+		adds, err := readEdges(r)
+		if err != nil {
+			return nil, err
+		}
+		dels, err := readEdges(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		epoch, err := s.w.ApplyUpdates(adds, dels)
+		if err != nil {
+			return nil, err
+		}
+		resp := wirefmt.AppendU64(nil, epoch)
+		resp = wirefmt.AppendU32(resp, uint32(s.w.NumVertices()))
+		return resp, nil
+
+	case mtStats:
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		return service.AppendTotalsWire(nil, s.w.Stats()), nil
+
+	case mtState:
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		return appendState(nil, s.w.State()), nil
+
+	case mtEpoch:
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		return wirefmt.AppendU64(nil, s.w.Epoch()), nil
+
+	case mtCheckpoint:
+		if err := r.Close(); err != nil {
+			return nil, err
+		}
+		if err := s.w.Checkpoint(); err != nil {
+			return nil, err
+		}
+		return []byte{}, nil
+
+	default:
+		return nil, errors.New("shard: unknown request type")
+	}
+}

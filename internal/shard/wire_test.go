@@ -1,0 +1,290 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/msbfs"
+	"repro/internal/pathjoin"
+	"repro/internal/service"
+	"repro/internal/wirefmt"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ  byte
+		id   uint64
+		body []byte
+	}{
+		{mtSubmit, 1, []byte("hello")},
+		{mtResp, 1<<63 + 7, nil},
+		{mtErr, 0, bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for _, c := range cases {
+		frame := appendFrame(nil, c.typ, c.id, c.body)
+		typ, id, body, err := readFrame(bufio.NewReader(bytes.NewReader(frame)))
+		if err != nil {
+			t.Fatalf("readFrame(%#x): %v", c.typ, err)
+		}
+		if typ != c.typ || id != c.id || !bytes.Equal(body, c.body) {
+			t.Errorf("round trip: got (%#x, %d, %d bytes), want (%#x, %d, %d bytes)",
+				typ, id, len(body), c.typ, c.id, len(c.body))
+		}
+	}
+}
+
+// TestFrameCorruptionMatrix flips every byte of a frame in turn: each
+// corruption must surface as ErrFrameCorrupt (header or payload damage
+// the checksum catches) — never as a silently decoded frame.
+func TestFrameCorruptionMatrix(t *testing.T) {
+	frame := appendFrame(nil, mtSubmit, 42, []byte("payload-bytes"))
+	for i := range frame {
+		corrupt := bytes.Clone(frame)
+		corrupt[i] ^= 0x80
+		_, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(corrupt)))
+		if err == nil {
+			t.Fatalf("byte %d flipped: frame decoded anyway", i)
+		}
+		// A flipped length byte can also make the reader wait for more
+		// payload than exists — an io error, equally fatal to the
+		// connection. Anything else must be the checksum failing.
+		if !errors.Is(err, ErrFrameCorrupt) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("byte %d flipped: got %v, want ErrFrameCorrupt or unexpected EOF", i, err)
+		}
+	}
+}
+
+// TestFrameTruncation cuts a frame off at every length: a torn frame is
+// an io error (the peer died mid-write), never a decoded frame.
+func TestFrameTruncation(t *testing.T) {
+	frame := appendFrame(nil, mtHalfPaths, 7, []byte("torn"))
+	for n := 0; n < len(frame); n++ {
+		_, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(frame[:n])))
+		if err == nil {
+			t.Fatalf("frame cut at %d/%d bytes decoded anyway", n, len(frame))
+		}
+		if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Errorf("frame cut at %d: got %v, want an io error", n, err)
+		}
+	}
+}
+
+func TestFrameRejectsImplausibleLength(t *testing.T) {
+	var buf []byte
+	buf = wirefmt.AppendU32(buf, maxFramePayload+1)
+	buf = wirefmt.AppendU32(buf, 0)
+	buf = append(buf, make([]byte, 64)...)
+	_, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(buf)))
+	if !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("oversized length: got %v, want ErrFrameCorrupt", err)
+	}
+	buf = wirefmt.AppendU32(buf[:0], 3) // < 9: too short for type+id
+	buf = wirefmt.AppendU32(buf, 0)
+	buf = append(buf, 1, 2, 3)
+	_, _, _, err = readFrame(bufio.NewReader(bytes.NewReader(buf)))
+	if !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("undersized length: got %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestWireErrorRoundTrip(t *testing.T) {
+	t.Run("overloaded", func(t *testing.T) {
+		in := service.ErrOverloaded
+		got := readWireError(wirefmt.NewReader(appendWireError(nil, in, 17*time.Millisecond)))
+		if !errors.Is(got, service.ErrOverloaded) {
+			t.Fatalf("decoded %v, want errors.Is ErrOverloaded", got)
+		}
+		var oe *OverloadedError
+		if !errors.As(got, &oe) || oe.RetryAfter != 17*time.Millisecond {
+			t.Fatalf("decoded %v, want OverloadedError with the 17ms hint", got)
+		}
+	})
+	t.Run("closed", func(t *testing.T) {
+		got := readWireError(wirefmt.NewReader(appendWireError(nil, service.ErrClosed, 0)))
+		if !errors.Is(got, service.ErrClosed) {
+			t.Fatalf("decoded %v, want ErrClosed", got)
+		}
+	})
+	t.Run("epoch", func(t *testing.T) {
+		in := &EpochMismatchError{Want: 3, Have: 9}
+		got := readWireError(wirefmt.NewReader(appendWireError(nil, in, 0)))
+		var em *EpochMismatchError
+		if !errors.As(got, &em) || em.Want != 3 || em.Have != 9 {
+			t.Fatalf("decoded %v, want EpochMismatchError{3, 9}", got)
+		}
+	})
+	t.Run("string", func(t *testing.T) {
+		in := errors.New("vertex 99 out of range [0, 10)")
+		got := readWireError(wirefmt.NewReader(appendWireError(nil, in, 0)))
+		if got.Error() != in.Error() {
+			// Message identity is what keeps remote failures reading
+			// exactly like local ones in the differential suite.
+			t.Fatalf("decoded %q, want %q", got, in)
+		}
+	})
+}
+
+func TestDistMapCodec(t *testing.T) {
+	visited := []graph.VertexID{0, 2, 5}
+	dists := []uint8{0, 1, 3}
+	d, err := msbfs.FromVisited(0, 4, 8, visited, dists)
+	if err != nil {
+		t.Fatalf("FromVisited: %v", err)
+	}
+	enc := appendDistMap(nil, d, 8)
+	r := wirefmt.NewReader(enc)
+	got, err := readDistMap(r, 8)
+	if err != nil {
+		t.Fatalf("readDistMap: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	if got.Source != 0 || got.Cap != 4 {
+		t.Errorf("decoded Source=%d Cap=%d", got.Source, got.Cap)
+	}
+	for v := graph.VertexID(0); v < 8; v++ {
+		if got.Dist(v) != d.Dist(v) {
+			t.Errorf("Dist(%d) = %d, want %d", v, got.Dist(v), d.Dist(v))
+		}
+	}
+
+	// The bounds check: a visited count larger than the payload could
+	// hold must be rejected before allocation.
+	bad := wirefmt.AppendU32(nil, 0)    // source
+	bad = wirefmt.AppendU8(bad, 4)      // cap
+	bad = wirefmt.AppendU32(bad, 8)     // n
+	bad = wirefmt.AppendU32(bad, 1<<30) // absurd visited count
+	if _, err := readDistMap(wirefmt.NewReader(bad), 8); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("absurd visited count: got %v, want ErrFrameCorrupt", err)
+	}
+
+	// Unsorted visited sets violate the DistMap invariant and must be
+	// rejected at decode, not propagated into probe-time corruption.
+	unsorted := appendDistMap(nil, d, 8)
+	// The visited ids start after source(4)+cap(1)+n(4)+count(4) = 13.
+	copy(unsorted[13:], wirefmt.AppendU32(wirefmt.AppendU32(nil, 5), 2))
+	if _, err := readDistMap(wirefmt.NewReader(unsorted), 8); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("unsorted visited set: got %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestStoreCodec(t *testing.T) {
+	s := pathjoin.NewStore(4, 16)
+	s.Add([]graph.VertexID{1, 2, 3})
+	s.Add([]graph.VertexID{4})
+	s.Add([]graph.VertexID{5, 6})
+	enc := appendStore(nil, s)
+	r := wirefmt.NewReader(enc)
+	got, err := readStore(r)
+	if err != nil {
+		t.Fatalf("readStore: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("decoded %d paths, want %d", got.Len(), s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		w, g := s.Path(i), got.Path(i)
+		if len(w) != len(g) {
+			t.Fatalf("path %d: %v vs %v", i, g, w)
+		}
+		for j := range w {
+			if w[j] != g[j] {
+				t.Fatalf("path %d: %v vs %v", i, g, w)
+			}
+		}
+	}
+
+	// Empty store round-trips (a pruned half often is).
+	empty := pathjoin.NewStore(0, 0)
+	got, err = readStore(wirefmt.NewReader(appendStore(nil, empty)))
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty store: %v, %d paths", err, got.Len())
+	}
+
+	// Offsets that violate the arena invariant must be rejected.
+	bad := wirefmt.AppendU32(nil, 3) // 3 offsets
+	bad = wirefmt.AppendU32(bad, 0)
+	bad = wirefmt.AppendU32(bad, 5) // > final offset: non-monotonic
+	bad = wirefmt.AppendU32(bad, 2)
+	bad = wirefmt.AppendU32(bad, 2) // 2 vertices
+	bad = wirefmt.AppendU32(bad, 1)
+	bad = wirefmt.AppendU32(bad, 2)
+	if _, err := readStore(wirefmt.NewReader(bad)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("non-monotonic offsets: got %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestEdgesCodec(t *testing.T) {
+	in := []graph.Edge{{Src: 1, Dst: 2}, {Src: 0, Dst: 9}}
+	r := wirefmt.NewReader(appendEdges(nil, in))
+	got, err := readEdges(r)
+	if err != nil || r.Close() != nil {
+		t.Fatalf("readEdges: %v", err)
+	}
+	if len(got) != 2 || got[0] != in[0] || got[1] != in[1] {
+		t.Fatalf("decoded %v, want %v", got, in)
+	}
+
+	// nil edge list (a pure-delete or pure-add batch) round-trips.
+	r = wirefmt.NewReader(appendEdges(nil, nil))
+	if got, err := readEdges(r); err != nil || got != nil {
+		t.Fatalf("nil edges: %v, %v", got, err)
+	}
+
+	bad := wirefmt.AppendU32(nil, 1<<30)
+	if _, err := readEdges(wirefmt.NewReader(bad)); !errors.Is(err, ErrFrameCorrupt) {
+		t.Fatalf("absurd edge count: got %v, want ErrFrameCorrupt", err)
+	}
+}
+
+func TestBackoffExhausts(t *testing.T) {
+	b := Backoff{Base: time.Microsecond, Cap: 2 * time.Microsecond, Total: 50 * time.Microsecond}
+	s := b.Start()
+	var err error
+	for i := 0; i < 1000; i++ {
+		if err = s.Sleep(context.Background(), 0); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrBackoffExhausted) {
+		t.Fatalf("after burning the budget: got %v, want ErrBackoffExhausted", err)
+	}
+	if s.Attempts() == 0 {
+		t.Error("gave up before a single sleep")
+	}
+	if s.Slept() > b.Total {
+		t.Errorf("slept %v, over the %v budget", s.Slept(), b.Total)
+	}
+}
+
+func TestBackoffHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := Backoff{Base: time.Hour, Cap: time.Hour, Total: -1}.Start()
+	if err := s.Sleep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: got %v, want context.Canceled", err)
+	}
+}
+
+func TestBackoffHintCapped(t *testing.T) {
+	b := Backoff{Base: time.Microsecond, Cap: 3 * time.Microsecond, Total: -1}
+	s := b.Start()
+	start := time.Now()
+	// A hostile hint must not make the client sleep past Cap.
+	if err := s.Sleep(context.Background(), time.Hour); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("hint overrode the cap: slept %v", d)
+	}
+}
